@@ -1,0 +1,263 @@
+package gammajoin
+
+// Benchmarks regenerating every table and figure of the paper, plus
+// per-algorithm engine benchmarks and ablations of the design choices
+// called out in DESIGN.md.
+//
+// Figure/table benchmarks run a scaled joinABprime (10k x 1k tuples) so the
+// whole suite completes quickly; `go run ./cmd/gammabench` regenerates the
+// full-size (100k x 10k) results. Each benchmark reports the simulated
+// response time of its headline data point as the "sim-sec" metric, so
+// `go test -bench .` doubles as a compact reproduction table.
+
+import (
+	"testing"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/experiments"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/pred"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wisconsin"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.OuterN = 10000
+	cfg.InnerN = 1000
+	return cfg
+}
+
+// benchExperiment regenerates one catalog experiment per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchConfig())
+		results, err := e.Run(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Report the first data point of the first series (or 0 for
+			// pure tables) as the simulated-seconds metric.
+			if len(results) > 0 && len(results[0].Series) > 0 {
+				b.ReportMetric(results[0].Series[0].Points[0].Y, "sim-sec")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFigures10to13(b *testing.B) { benchExperiment(b, "fig10-13") }
+func BenchmarkFigure14(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkTable1(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkTable3Extras(b *testing.B)  { benchExperiment(b, "table3x") }
+func BenchmarkAppendixA(b *testing.B)     { benchExperiment(b, "appendixA") }
+
+// benchFixture loads one scaled joinABprime workload.
+func benchFixture(b *testing.B, c *gamma.Cluster) (*gamma.Relation, *gamma.Relation) {
+	b.Helper()
+	outer := wisconsin.Generate(10000, 1989)
+	inner := wisconsin.Bprime(outer, 1000)
+	s, err := gamma.Load(c, "A", outer, gamma.HashPart, tuple.Unique1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := gamma.Load(c, "B", inner, gamma.HashPart, tuple.Unique1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, s
+}
+
+// BenchmarkJoin measures each algorithm end-to-end at half memory (the
+// paper's most discriminating point).
+func BenchmarkJoin(b *testing.B) {
+	for _, alg := range []core.Algorithm{core.SortMerge, core.Simple, core.Grace, core.Hybrid} {
+		b.Run(alg.String(), func(b *testing.B) {
+			c := gamma.NewLocal(8, nil)
+			r, s := benchFixture(b, c)
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Run(c, core.Spec{
+					Alg: alg, R: r, S: s,
+					RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+					MemRatio: 0.5, StoreResult: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Response.Seconds()
+			}
+			b.ReportMetric(sim, "sim-sec")
+		})
+	}
+}
+
+// BenchmarkAblationBucketAnalyzer compares Hybrid on the Appendix-A
+// pathological configuration (2 disks, 4 diskless join nodes, 3 buckets)
+// with and without the optimizer bucket analyzer. Without it, two join
+// sites starve and the others overflow.
+func BenchmarkAblationBucketAnalyzer(b *testing.B) {
+	for _, skip := range []bool{false, true} {
+		name := "with-analyzer"
+		if skip {
+			name = "without-analyzer"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := gamma.NewRemote(2, 4, nil)
+			r, s := benchFixture(b, c)
+			var sim float64
+			var overflowed int64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Run(c, core.Spec{
+					Alg: core.Hybrid, R: r, S: s,
+					RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+					MemRatio: 1.0 / 3, ForceBuckets: 3,
+					SkipAnalyzer: skip, StoreResult: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Response.Seconds()
+				overflowed = rep.ROverflowed
+			}
+			b.ReportMetric(sim, "sim-sec")
+			b.ReportMetric(float64(overflowed), "R-overflow-tuples")
+		})
+	}
+}
+
+// BenchmarkAblationFilterSize sweeps the packet size that bounds the shared
+// bit-filter, showing the saturation effect of Section 4.2 (a bigger packet
+// means a bigger, more selective filter).
+func BenchmarkAblationFilterSize(b *testing.B) {
+	for _, packet := range []int{512, 2048, 8192} {
+		b.Run(map[int]string{512: "512B", 2048: "2KB", 8192: "8KB"}[packet], func(b *testing.B) {
+			params := cost.DefaultParams()
+			params.PacketBytes = packet
+			c := gamma.NewLocal(8, cost.NewModel(params))
+			r, s := benchFixture(b, c)
+			var sim, dropped float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Run(c, core.Spec{
+					Alg: core.Hybrid, R: r, S: s,
+					RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+					MemRatio: 1.0, BitFilter: true, StoreResult: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Response.Seconds()
+				dropped = float64(rep.FilterDropped)
+			}
+			b.ReportMetric(sim, "sim-sec")
+			b.ReportMetric(dropped, "S-dropped")
+		})
+	}
+}
+
+// BenchmarkAblationOverflowVsBucket is the Figure 7 tradeoff at a single
+// intermediate ratio: optimistic single-bucket-with-overflow versus the
+// pessimistic extra bucket.
+func BenchmarkAblationOverflowVsBucket(b *testing.B) {
+	for _, optimistic := range []bool{true, false} {
+		name := "pessimistic-2-buckets"
+		if optimistic {
+			name = "optimistic-overflow"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := gamma.NewLocal(8, nil)
+			r, s := benchFixture(b, c)
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				spec := core.Spec{
+					Alg: core.Hybrid, R: r, S: s,
+					RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+					MemRatio: 0.7, StoreResult: true,
+				}
+				if optimistic {
+					spec.AllowOverflow = true
+				} else {
+					spec.ForceBuckets = 2
+				}
+				rep, err := core.Run(c, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = rep.Response.Seconds()
+			}
+			b.ReportMetric(sim, "sim-sec")
+		})
+	}
+}
+
+// Extension benchmarks (paper future work, measured).
+func BenchmarkExtFormingFilters(b *testing.B) { benchExperiment(b, "ext-formfilter") }
+func BenchmarkExtBucketTuning(b *testing.B)   { benchExperiment(b, "ext-tuning") }
+func BenchmarkExtMixedConfig(b *testing.B)    { benchExperiment(b, "ext-mixed") }
+func BenchmarkExtUtilization(b *testing.B)    { benchExperiment(b, "ext-util") }
+func BenchmarkExtJoinAselB(b *testing.B)      { benchExperiment(b, "ext-aselb") }
+
+// BenchmarkSelect and BenchmarkAggregate cover the non-join operators.
+func BenchmarkSelect(b *testing.B) {
+	c := gamma.NewLocal(8, nil)
+	tuples := wisconsin.Generate(10000, 1989)
+	rel, err := gamma.Load(c, "A", tuples, gamma.HashPart, tuple.Unique1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rep, _, err := core.RunSelect(c, core.SelectSpec{
+			Rel:         rel,
+			Pred:        pred.Range(tuple.Unique1, 0, 1000),
+			StoreResult: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = rep.Response.Seconds()
+	}
+	b.ReportMetric(sim, "sim-sec")
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	c := gamma.NewRemote(8, 8, nil)
+	tuples := wisconsin.Generate(10000, 1989)
+	rel, err := gamma.Load(c, "A", tuples, gamma.HashPart, tuple.Unique1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rep, _, err := core.RunAggregate(c, core.AggSpec{
+			Rel: rel, GroupAttr: tuple.OnePercent, AggAttr: tuple.Unique1, Fn: core.Avg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = rep.Response.Seconds()
+	}
+	b.ReportMetric(sim, "sim-sec")
+}
+
+func BenchmarkExtSpeedup(b *testing.B) { benchExperiment(b, "ext-speedup") }
+
+func BenchmarkExtGrowingRelations(b *testing.B) { benchExperiment(b, "ext-growing") }
+
+func BenchmarkExtMultiuser(b *testing.B) { benchExperiment(b, "ext-multiuser") }

@@ -1,0 +1,109 @@
+// Command gammabench regenerates the tables and figures of Schneider &
+// DeWitt (SIGMOD 1989) on the simulated Gamma machine.
+//
+// Usage:
+//
+//	gammabench -list
+//	gammabench -exp all                 # every experiment, paper order
+//	gammabench -exp fig5,fig7,table3    # a selection
+//	gammabench -exp fig5 -outer 20000 -inner 2000   # scaled down
+//
+// Response times are simulated seconds from the Gamma-calibrated cost
+// model; series shapes — orderings, crossovers, steps — reproduce the
+// paper's (see EXPERIMENTS.md for the point-by-point comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gammajoin/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		outer   = flag.Int("outer", 0, "override outer relation cardinality (default 100000)")
+		inner   = flag.Int("inner", 0, "override inner relation cardinality (default 10000)")
+		disks   = flag.Int("disks", 0, "override number of disk sites (default 8)")
+		remote  = flag.Int("remote", 0, "override number of diskless join sites (default 8)")
+		seed    = flag.Uint64("seed", 0, "override workload seed (default 1989)")
+		timings = flag.Bool("t", false, "print wall-clock time per experiment")
+		plot    = flag.Bool("plot", false, "also render figure results as ASCII charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Catalog {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *outer > 0 {
+		cfg.OuterN = *outer
+	}
+	if *inner > 0 {
+		cfg.InnerN = *inner
+	}
+	if *disks > 0 {
+		cfg.Disks = *disks
+	}
+	if *remote > 0 {
+		cfg.Remote = *remote
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if cfg.InnerN > cfg.OuterN {
+		fmt.Fprintln(os.Stderr, "gammabench: -inner must not exceed -outer")
+		os.Exit(2)
+	}
+
+	h := experiments.NewHarness(cfg)
+	fmt.Printf("joinABprime: %d-tuple outer ⋈ %d-tuple inner, %d disk sites",
+		cfg.OuterN, cfg.InnerN, cfg.Disks)
+	if cfg.Remote > 0 {
+		fmt.Printf(" (+%d diskless for remote runs)", cfg.Remote)
+	}
+	fmt.Printf(", seed %d\n\n", cfg.Seed)
+
+	var entries []experiments.Entry
+	if *exp == "all" {
+		entries = experiments.Catalog
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := experiments.Find(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gammabench:", err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		results, err := e.Run(h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gammabench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r.Format())
+			if *plot {
+				if chart := r.Plot(64, 16); chart != "" {
+					fmt.Println(chart)
+				}
+			}
+		}
+		if *timings {
+			fmt.Printf("[%s took %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command gammaql is a tiny interactive shell for the simulated Gamma
+// machine: generate Wisconsin benchmark relations, decluster them, and run
+// the four parallel join algorithms with the paper's knobs.
+//
+//	$ gammaql
+//	gamma> create A 100000 partition by hash unique1
+//	gamma> create Bprime bprime A 10000 partition by hash unique1
+//	gamma> join Bprime A on unique1 using hybrid mem 0.5 filter
+//	gamma> plan Bprime A on unique1 mem 0.5
+//	gamma> select A where unique1 < 1000 store
+//	gamma> agg avg unique2 by ten on A
+//	gamma> update A set twentyPercent 42 where unique1 < 100
+//
+// Type "help" for the full command language. Commands can also be piped on
+// stdin for scripted use.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/gammaql"
+)
+
+func main() {
+	var (
+		disks    = flag.Int("disks", 8, "processors with disks")
+		diskless = flag.Int("diskless", 0, "diskless join processors (remote configuration)")
+	)
+	flag.Parse()
+
+	var c *gamma.Cluster
+	if *diskless > 0 {
+		c = gamma.NewRemote(*disks, *diskless, cost.Default())
+	} else {
+		c = gamma.NewLocal(*disks, cost.Default())
+	}
+	fmt.Printf("gammaql: %d disk sites", *disks)
+	if *diskless > 0 {
+		fmt.Printf(" + %d diskless join sites", *diskless)
+	}
+	fmt.Println(" (type 'help' for commands)")
+
+	s := gammaql.NewSession(c, os.Stdout)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("gamma> ")
+	for in.Scan() {
+		err := s.Exec(in.Text())
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		fmt.Print("gamma> ")
+	}
+}

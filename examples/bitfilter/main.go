@@ -1,0 +1,56 @@
+// Bit filters: Section 4.2 of the paper. A single 2 KB network packet is
+// carved into one Babb bit filter per joining site (1973 bits/site with 8
+// sites); the filters are built from the inner relation during each joining
+// phase and eliminate outer tuples early. Because Grace and Hybrid build a
+// fresh filter per bucket, *decreasing* memory increases the aggregate
+// filter size — Grace actually gets faster until all non-joining tuples are
+// eliminated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gammajoin"
+)
+
+func main() {
+	m := gammajoin.NewMachine(gammajoin.WithDisks(8))
+	outer := gammajoin.Wisconsin(100000, 1989)
+	inner := gammajoin.Bprime(outer, 10000)
+	a, err := m.Load("A", outer, gammajoin.ByHash, "unique1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bprime, err := m.Load("Bprime", inner, gammajoin.ByHash, "unique1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("effect of bit-vector filtering (simulated seconds, HPJA, local)")
+	fmt.Printf("%-12s %-8s %10s %10s %9s %12s\n",
+		"algorithm", "mem/|R|", "plain", "filtered", "gain", "S eliminated")
+	for _, alg := range gammajoin.Algorithms {
+		for buckets := 1; buckets <= 8; buckets *= 2 {
+			ratio := 1.0 / float64(buckets)
+			run := func(filter bool) *gammajoin.Report {
+				rep, err := m.Join(bprime, a, "unique1", "unique1", gammajoin.JoinOptions{
+					Algorithm:   alg,
+					MemoryRatio: ratio,
+					BitFilter:   filter,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return rep
+			}
+			plain, filt := run(false), run(true)
+			gain := 100 * (plain.Response.Seconds() - filt.Response.Seconds()) / plain.Response.Seconds()
+			fmt.Printf("%-12s %-8.3f %9.2fs %9.2fs %8.1f%% %12d\n",
+				alg, ratio, plain.Response.Seconds(), filt.Response.Seconds(),
+				gain, filt.FilterDropped)
+		}
+	}
+	fmt.Println("\nnote how the per-bucket filters grow more effective as memory shrinks")
+	fmt.Println("(more buckets -> larger aggregate filter), per the paper's Figure 12.")
+}

@@ -1,0 +1,67 @@
+// Optimizer: the paper's Section 5 conclusions turned into an automatic
+// join planner. The optimizer samples the inner relation's skew under the
+// system hash function, checks memory and the HPJA property, and picks:
+// Hybrid with bit filters for uniform data, sort-merge when the inner is
+// skewed and memory is limited, and diskless join processors only for
+// non-HPJA joins with sufficient memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gammajoin"
+)
+
+func main() {
+	// A machine with both disk and diskless processors, so placement is a
+	// real decision.
+	m := gammajoin.NewMachine(gammajoin.WithDisks(8), gammajoin.WithDiskless(8))
+
+	fmt.Println("=== case 1: uniform HPJA join, plenty of memory ===")
+	outer := gammajoin.Wisconsin(100000, 2024)
+	inner := gammajoin.Bprime(outer, 10000)
+	a, err := m.Load("A", outer, gammajoin.ByHash, "unique1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := m.Load("Bprime", inner, gammajoin.ByHash, "unique1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	runPlanned(m, b, a, "unique1", "unique1", b.Bytes())
+
+	fmt.Println("\n=== case 2: non-HPJA join, plenty of memory (offload to diskless) ===")
+	a2, _ := m.Load("A2", outer, gammajoin.ByHash, "unique2")
+	b2, _ := m.Load("B2", inner, gammajoin.ByHash, "unique2")
+	runPlanned(m, b2, a2, "unique1", "unique1", b2.Bytes())
+
+	fmt.Println("\n=== case 3: skewed inner, limited memory (fall back to sort-merge) ===")
+	skewOuter := gammajoin.WisconsinSkewed(100000, 2025)
+	skewInner := gammajoin.RandomSubset(skewOuter, 10000, 2026)
+	sa, _ := m.Load("SA", skewOuter, gammajoin.ByRange, "unique1")
+	sb, _ := m.Load("SB", skewInner, gammajoin.ByRange, "unique3")
+	runPlanned(m, sb, sa, "unique3", "unique1", sb.Bytes()/6)
+}
+
+func runPlanned(m *gammajoin.Machine, inner, outer *gammajoin.Relation,
+	innerAttr, outerAttr string, memBytes int64) {
+	plan, rep, err := m.AutoJoin(inner, outer, innerAttr, outerAttr, memBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: inner %d KB, memory %d KB, skew %.2f, HPJA %v\n",
+		plan.Stats.InnerBytes/1024, plan.Stats.MemBytes/1024,
+		plan.Stats.InnerSkew, plan.Stats.HPJA)
+	placement := "disk sites (local)"
+	if plan.JoinSites[0] >= len(m.DiskSites()) {
+		placement = "diskless sites (remote)"
+	}
+	fmt.Printf("plan: %v on %s", plan.Alg, placement)
+	if plan.Buckets > 0 {
+		fmt.Printf(", %d buckets", plan.Buckets)
+	}
+	fmt.Printf(", bit filters %v\n", plan.BitFilter)
+	fmt.Printf("ran: %d result tuples in %.2f simulated seconds\n",
+		rep.ResultCount, rep.Response.Seconds())
+}

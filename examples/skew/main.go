@@ -1,0 +1,68 @@
+// Skew: the paper's Section 4.4 scenario. Joins that re-establish
+// one-to-many relationships probe with a non-uniformly distributed outer
+// attribute (a "UN" join), which Hybrid handles well; but when the inner
+// (building) relation is skewed ("NU") its hash tables overflow, and with
+// tight memory a conservative algorithm like sort-merge becomes
+// competitive. This example measures all three combinations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gammajoin"
+)
+
+func main() {
+	m := gammajoin.NewMachine(gammajoin.WithDisks(8))
+
+	// A 100k-tuple relation whose "unique3" attribute is drawn from the
+	// paper's normal(50000, 750) distribution, and a 10k-tuple inner
+	// relation randomly selected from it. Range declustering keeps the
+	// initial scans balanced despite the skew.
+	outer := gammajoin.WisconsinSkewed(100000, 1996)
+	inner := gammajoin.RandomSubset(outer, 10000, 1997)
+
+	type combo struct {
+		name             string
+		rAttr, sAttr     string
+		partInn, partOut string
+	}
+	combos := []combo{
+		{"UU (both uniform)", "unique1", "unique1", "unique1", "unique1"},
+		{"NU (inner skewed)", "unique3", "unique1", "unique3", "unique1"},
+		{"UN (outer skewed)", "unique1", "unique3", "unique1", "unique3"},
+	}
+
+	for _, ratio := range []float64{1.0, 0.17} {
+		fmt.Printf("\n=== %.0f%% memory availability ===\n", ratio*100)
+		for _, c := range combos {
+			s, err := m.Load("A."+c.name, outer, gammajoin.ByRange, c.partOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := m.Load("B."+c.name, inner, gammajoin.ByRange, c.partInn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s\n", c.name)
+			for _, alg := range []gammajoin.Algorithm{gammajoin.Hybrid, gammajoin.SortMerge} {
+				rep, err := m.Join(r, s, c.rAttr, c.sAttr, gammajoin.JoinOptions{
+					Algorithm:   alg,
+					MemoryRatio: ratio,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-11s %8.2fs  %6d results", alg, rep.Response.Seconds(), rep.ResultCount)
+				if rep.OverflowClears > 0 {
+					fmt.Printf("  (overflow: %d clears, chains avg %.1f max %d)",
+						rep.OverflowClears, rep.AvgChain, rep.MaxChain)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Println("\npaper's conclusions: hash joins degrade when the INNER is skewed (NU);")
+	fmt.Println("UN joins — the common one-to-many case — stay efficient under Hybrid.")
+}

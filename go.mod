@@ -1,0 +1,3 @@
+module gammajoin
+
+go 1.22

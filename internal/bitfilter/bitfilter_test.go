@@ -1,0 +1,106 @@
+package bitfilter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gammajoin/internal/xrand"
+)
+
+func TestPerSiteBitsMatchesPaper(t *testing.T) {
+	// 2 KB packet, 75 bits/site overhead, 8 joining sites -> 1973 bits.
+	if got := PerSiteBits(2048, 75, 8); got != 1973 {
+		t.Fatalf("PerSiteBits = %d, want 1973 (paper, Section 4.2)", got)
+	}
+}
+
+func TestPerSiteBitsEdge(t *testing.T) {
+	if got := PerSiteBits(16, 200, 1); got != 1 {
+		t.Fatalf("degenerate sizing should clamp to 1 bit, got %d", got)
+	}
+	if got := PerSiteBits(2048, 75, 0); got != PerSiteBits(2048, 75, 1) {
+		t.Fatal("nSites=0 should behave as 1")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		flt := New(1973)
+		src := xrand.New(seed)
+		hs := make([]uint64, n)
+		for i := range hs {
+			hs[i] = src.Uint64()
+			flt.Set(hs[i])
+		}
+		for _, h := range hs {
+			if !flt.Test(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	// With few values inserted, most random probes should miss.
+	flt := New(1973)
+	src := xrand.New(1)
+	for i := 0; i < 50; i++ {
+		flt.Set(src.Uint64())
+	}
+	misses := 0
+	for i := 0; i < 10000; i++ {
+		if !flt.Test(src.Uint64()) {
+			misses++
+		}
+	}
+	if misses < 9000 {
+		t.Fatalf("only %d/10000 random probes missed; filter not selective", misses)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	flt := New(1973)
+	src := xrand.New(2)
+	// ~1250 inserts per site at 100% memory nearly saturates the filter
+	// (the paper's explanation for weak filtering at one bucket).
+	for i := 0; i < 1250; i++ {
+		flt.Set(src.Uint64())
+	}
+	if s := flt.Saturation(); s < 0.40 || s > 0.60 {
+		t.Fatalf("saturation after 1250 inserts = %v, want ~0.47", s)
+	}
+	if flt.Sets() != 1250 {
+		t.Fatalf("Sets() = %d", flt.Sets())
+	}
+	if flt.OnesSet() <= 0 || flt.OnesSet() > 1250 {
+		t.Fatalf("OnesSet() = %d", flt.OnesSet())
+	}
+}
+
+func TestReset(t *testing.T) {
+	flt := New(128)
+	flt.Set(42)
+	flt.Reset()
+	if flt.OnesSet() != 0 || flt.Sets() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if flt.Saturation() != 0 {
+		t.Fatal("Reset did not clear bits")
+	}
+}
+
+func TestTinyFilter(t *testing.T) {
+	flt := New(0) // clamps to 1 bit
+	if flt.Bits() != 1 {
+		t.Fatalf("Bits = %d, want 1", flt.Bits())
+	}
+	flt.Set(99)
+	if !flt.Test(99) {
+		t.Fatal("single-bit filter must still have no false negatives")
+	}
+}

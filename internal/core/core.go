@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: parallel
+// versions of the Sort-Merge, Grace, Simple hash, and Hybrid hash join
+// algorithms (Schneider & DeWitt, SIGMOD 1989, Section 3) on top of the
+// Gamma machine substrate.
+//
+// All four algorithms hash-partition their inputs through split tables; the
+// hash-based three build and probe memory-limited hash tables with the
+// paper's histogram/cutoff overflow resolution, and sort-merge redistributes
+// then sorts and merges per disk site. Bit-vector filtering, HPJA
+// short-circuiting, local and remote join-site placement, and the optimizer
+// bucket analyzer are all supported.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gammajoin/internal/bitfilter"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/netsim"
+	"gammajoin/internal/pred"
+	"gammajoin/internal/split"
+	"gammajoin/internal/tuple"
+)
+
+// Algorithm selects a parallel join algorithm.
+type Algorithm int
+
+const (
+	// SortMerge redistributes both relations by hashing, sorts the
+	// per-site temporary files, and merge-joins locally (Section 3.1).
+	SortMerge Algorithm = iota
+	// Simple stages the inner relation in in-memory hash tables at the
+	// join sites and resolves memory overflow with the histogram/cutoff
+	// mechanism, recursively (Section 3.2).
+	Simple
+	// Grace partitions both relations into disk buckets sized to fit the
+	// aggregate join memory, then joins the buckets consecutively
+	// (Section 3.3).
+	Grace
+	// Hybrid is Grace with the first bucket kept in memory and joined on
+	// the fly while the remaining buckets are formed (Section 3.4).
+	Hybrid
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case SortMerge:
+		return "sort-merge"
+	case Simple:
+		return "simple"
+	case Grace:
+		return "grace"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Spec describes one join execution.
+type Spec struct {
+	Alg Algorithm
+
+	// R is the inner (building) relation — the smaller one — and S the
+	// outer (probing) relation, joined on R.RAttr == S.SAttr.
+	R, S         *gamma.Relation
+	RAttr, SAttr int
+
+	// RPred and SPred are optional selection predicates pushed into the
+	// initial relation scans (the joinAselB / joinCselAselB queries).
+	// Selections execute only on the processors with disks, as in Gamma.
+	RPred, SPred pred.Pred
+
+	// MemBytes is the aggregate memory available at the joining
+	// processors. If zero, MemRatio*R.Bytes() is used; a MemRatio of 1.0
+	// holds the whole inner relation.
+	MemBytes int64
+	MemRatio float64
+
+	// JoinSites lists the processors executing the join. Defaults to the
+	// cluster's JoinSites (diskless processors when present, else the
+	// disk sites). Sort-merge always joins on the disk sites.
+	JoinSites []int
+
+	// BitFilter enables Babb bit-vector filtering during joining phases.
+	BitFilter bool
+	// FilterForming additionally builds filters during the bucket-forming
+	// phases of Grace and Hybrid and drops non-joining outer tuples
+	// before they are written to disk — the extension the paper's
+	// Sections 4.2/4.4 predict "would significantly increase the
+	// performance of these algorithms". Requires BitFilter.
+	FilterForming bool
+	// BucketTuning enables the Grace bucket tuning of [KITS83]: many
+	// small buckets are formed and then combined into memory-sized join
+	// groups by measured size, absorbing skew without overflow.
+	BucketTuning bool
+	// TuneFactor is how many times more buckets than optimal BucketTuning
+	// forms (default 3).
+	TuneFactor int
+
+	// InnerSizeHint tells the optimizer the expected inner size in bytes
+	// after RPred's selection (Gamma's optimizer estimates selectivities
+	// from catalog statistics); 0 means the full relation size.
+	InnerSizeHint int64
+
+	// ForceBuckets overrides the optimizer's bucket count for Grace and
+	// Hybrid (before the bucket analyzer runs).
+	ForceBuckets int
+	// AllowOverflow makes Hybrid take the paper's "optimistic" choice at
+	// non-integral memory ratios: run with floor(1/ratio) buckets and let
+	// the Simple-hash overflow mechanism absorb the excess (Figure 7).
+	AllowOverflow bool
+	// SkipAnalyzer disables the Appendix-A bucket analyzer (for the
+	// ablation benchmark of the mod-cycle pathology).
+	SkipAnalyzer bool
+
+	// StoreResult materializes the result relation round-robin across the
+	// disk sites (the benchmark queries store their >4 MB result).
+	StoreResult bool
+	// CollectResults additionally gathers the joined tuples into the
+	// report (tests and small examples only).
+	CollectResults bool
+
+	// HashSeed is the base hash-function seed; 0 is the system-wide
+	// function used when relations were loaded, so joins on a
+	// hash-partitioning attribute short-circuit the network.
+	HashSeed uint64
+}
+
+// Report describes one executed join.
+type Report struct {
+	Alg      Algorithm
+	Response time.Duration
+	Phases   []gamma.PhaseStat
+
+	ResultCount int64
+	Results     []tuple.Joined // only when Spec.CollectResults
+
+	Buckets        int   // Grace/Hybrid bucket count actually used
+	OverflowLevels int   // recursion depth of the overflow resolution
+	OverflowClears int64 // hash-table clearing passes
+	ROverflowed    int64 // inner tuples routed through overflow files
+	SOverflowed    int64 // outer tuples routed through overflow files
+
+	FilterBitsPerSite int
+	FilterDropped     int64 // outer tuples eliminated by bit filters
+
+	Net  netsim.Counters // network activity for the whole join
+	Disk disk.Counters   // disk activity for the whole join
+
+	// Forming counters cover the bucket-forming / partitioning phases
+	// only; FormingLocalFrac is the paper's Table 2 metric.
+	Forming netsim.Counters
+
+	SortPassesR, SortPassesS int // sort-merge merge passes (max over sites)
+
+	AvgChain float64 // mean hash-chain length across join sites
+	MaxChain int
+
+	// CPU utilization over the whole join, per processor class. The paper
+	// reports local joins drive the disk-site CPUs to 100% while the
+	// remote configuration leaves them at ~60% — the basis of its
+	// multiuser throughput argument.
+	UtilDisk     float64
+	UtilDiskless float64
+	// BottleneckBusy is the busiest site's total resource time; its
+	// inverse bounds multiuser throughput (queries/second) on this
+	// configuration.
+	BottleneckBusy time.Duration
+}
+
+// FormingLocalFrac is the fraction of forming-phase tuples written locally.
+func (r *Report) FormingLocalFrac() float64 { return r.Forming.LocalFraction() }
+
+// Run executes the join described by spec on cluster c and returns its
+// report. The execution is real — every tuple is hashed, routed, and joined
+// — while response time comes from the cluster's cost model.
+func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
+	rc, err := newRunCtx(c, &spec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Alg {
+	case SortMerge:
+		err = rc.runSortMerge()
+	case Simple:
+		err = rc.runSimple()
+	case Grace:
+		err = rc.runGrace()
+	case Hybrid:
+		err = rc.runHybrid()
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rc.report(), nil
+}
+
+// memBytes resolves the aggregate join memory for the spec.
+func (s *Spec) memBytes() (int64, error) {
+	if s.MemBytes > 0 {
+		return s.MemBytes, nil
+	}
+	if s.MemRatio <= 0 {
+		return 0, fmt.Errorf("core: spec needs MemBytes or MemRatio")
+	}
+	return int64(s.MemRatio * float64(s.R.Bytes())), nil
+}
+
+// filterBits sizes per-site bit filters by Gamma's shared-2KB-packet rule.
+func filterBits(m *cost.Model, nJoinSites int) int {
+	return bitfilter.PerSiteBits(m.P.PacketBytes, m.P.FilterOverheadBitsPerSite, nJoinSites)
+}
+
+// optimizerBuckets computes the bucket count for Grace and Hybrid: the
+// smallest count such that each bucket of the inner relation fits in the
+// aggregate join memory, corrected by the Appendix-A bucket analyzer.
+func (rc *runCtx) optimizerBuckets(hybrid bool) int {
+	n := rc.spec.ForceBuckets
+	if n <= 0 {
+		// The epsilon keeps ratios like 1/3 — whose memory budget is
+		// truncated to integer bytes, leaving "need" a hair above the
+		// intended integer — at their intended bucket count; the
+		// sub-0.1% shortfall is covered by the hash tables' one-tuple
+		// capacity slack.
+		innerBytes := rc.spec.R.Bytes()
+		if rc.spec.InnerSizeHint > 0 {
+			innerBytes = rc.spec.InnerSizeHint
+		}
+		need := float64(innerBytes) / float64(rc.memTotal)
+		n = int(math.Ceil(need - 1e-3))
+		if hybrid && rc.spec.AllowOverflow {
+			// Optimistic: one bucket fewer, absorbed by overflow.
+			n = int(need)
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	if !rc.spec.SkipAnalyzer {
+		n = split.AnalyzeBuckets(hybrid, len(rc.diskSites), len(rc.joinSites), n)
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wisconsin"
+)
+
+// The FilterForming extension (paper: "applying filtering techniques to the
+// bucket-forming phases of the Grace and Hybrid join algorithms would also
+// improve performance").
+
+func TestFilterFormingPreservesResultsAndSavesWrites(t *testing.T) {
+	c := gamma.NewLocal(8, nil)
+	f := mkFixture(t, c, 8000, gamma.HashPart, tuple.Unique1)
+	for _, alg := range []Algorithm{Grace, Hybrid} {
+		base := runJoin(t, f, alg, 0.25, func(sp *Spec) { sp.BitFilter = true })
+		ext := runJoin(t, f, alg, 0.25, func(sp *Spec) {
+			sp.BitFilter = true
+			sp.FilterForming = true
+		})
+		if ext.ResultCount != base.ResultCount {
+			t.Fatalf("%v: forming filters changed results: %d vs %d",
+				alg, ext.ResultCount, base.ResultCount)
+		}
+		if ext.Disk.PagesWritten >= base.Disk.PagesWritten {
+			t.Errorf("%v: forming filters should eliminate disk writes (%d vs %d pages)",
+				alg, ext.Disk.PagesWritten, base.Disk.PagesWritten)
+		}
+		if ext.Response >= base.Response {
+			t.Errorf("%v: forming filters should improve response (%v vs %v)",
+				alg, ext.Response, base.Response)
+		}
+	}
+}
+
+func TestFilterFormingRequiresBitFilter(t *testing.T) {
+	c := gamma.NewLocal(4, nil)
+	f := mkFixture(t, c, 1000, gamma.HashPart, tuple.Unique1)
+	// Without BitFilter the flag is inert (no filters are built).
+	rep := runJoin(t, f, Grace, 0.5, func(sp *Spec) { sp.FilterForming = true })
+	if rep.FilterDropped != 0 {
+		t.Fatal("forming filters active without BitFilter")
+	}
+	if rep.ResultCount != 100 {
+		t.Fatalf("count = %d", rep.ResultCount)
+	}
+}
+
+// The Grace bucket-tuning extension [KITS83].
+
+func TestBucketTuningPreservesResults(t *testing.T) {
+	c := gamma.NewLocal(8, nil)
+	f := mkFixture(t, c, 8000, gamma.HashPart, tuple.Unique1)
+	rep := runJoin(t, f, Grace, 0.25, func(sp *Spec) { sp.BucketTuning = true })
+	if rep.ResultCount != 800 {
+		t.Fatalf("tuned grace count = %d, want 800", rep.ResultCount)
+	}
+	if rep.Buckets <= 4 {
+		t.Fatalf("tuning should form more than 4 buckets, got %d", rep.Buckets)
+	}
+	if rep.OverflowClears != 0 {
+		t.Fatalf("tuned groups overflowed (%d clears)", rep.OverflowClears)
+	}
+}
+
+func TestBucketTuningAbsorbsSkewWithoutOverflow(t *testing.T) {
+	// A skewed inner: plain Grace at the optimizer's bucket count
+	// overflows; tuning combines small measured buckets and avoids it.
+	c := gamma.NewLocal(8, nil)
+	outer := wisconsin.GenerateSkewed(8000, 5)
+	inner := wisconsin.RandomSubset(outer, 800, 6)
+	s, _ := gamma.Load(c, "A", outer, gamma.RangeUniform, tuple.Normal)
+	r, _ := gamma.Load(c, "B", inner, gamma.RangeUniform, tuple.Normal)
+	f := fixture{c: c, r: r, s: s}
+	opts := func(sp *Spec) {
+		sp.RAttr = tuple.Normal
+		sp.SAttr = tuple.Unique1
+	}
+	plain := runJoin(t, f, Grace, 0.17, opts)
+	tuned := runJoin(t, f, Grace, 0.17, func(sp *Spec) { opts(sp); sp.BucketTuning = true })
+	if tuned.ResultCount != plain.ResultCount {
+		t.Fatalf("tuning changed results: %d vs %d", tuned.ResultCount, plain.ResultCount)
+	}
+	if plain.OverflowClears == 0 {
+		t.Skip("skewed fixture did not overflow at this scale")
+	}
+	if tuned.OverflowClears >= plain.OverflowClears {
+		t.Errorf("tuning should reduce overflow: %d vs %d clears",
+			tuned.OverflowClears, plain.OverflowClears)
+	}
+}
+
+// Utilization accounting (paper, Section 5: local joins run the disk-site
+// CPUs at 100%; remote drops them to ~60%).
+
+func TestUtilizationLocalVsRemote(t *testing.T) {
+	lc := gamma.NewLocal(8, nil)
+	lf := mkFixture(t, lc, 8000, gamma.HashPart, tuple.Unique2)
+	local := runJoin(t, lf, Hybrid, 1.0, nil)
+
+	rcl := gamma.NewRemote(8, 8, nil)
+	rf := mkFixture(t, rcl, 8000, gamma.HashPart, tuple.Unique2)
+	remote := runJoin(t, rf, Hybrid, 1.0, nil)
+
+	if local.UtilDisk < 0.7 {
+		t.Errorf("local disk-site utilization %.2f, want high (~1.0)", local.UtilDisk)
+	}
+	if remote.UtilDisk >= local.UtilDisk {
+		t.Errorf("remote should unload the disk sites: %.2f vs %.2f",
+			remote.UtilDisk, local.UtilDisk)
+	}
+	if remote.UtilDiskless <= 0 {
+		t.Error("remote diskless utilization not recorded")
+	}
+	if local.BottleneckBusy <= 0 || remote.BottleneckBusy <= 0 {
+		t.Fatal("bottleneck busy time missing")
+	}
+	// The multiuser argument: the remote configuration's per-site
+	// bottleneck is smaller, so its throughput upper bound is higher.
+	if remote.BottleneckBusy >= local.BottleneckBusy {
+		t.Errorf("remote bottleneck (%v) should be below local (%v)",
+			remote.BottleneckBusy, local.BottleneckBusy)
+	}
+}

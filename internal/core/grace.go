@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gammajoin/internal/bitfilter"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/netsim"
+	"gammajoin/internal/pred"
+	"gammajoin/internal/split"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wiss"
+)
+
+// runGrace executes the parallel Grace hash-join (Section 3.3): both
+// relations are first partitioned into N disk buckets — each bucket itself
+// horizontally partitioned across every disk site via the partitioning
+// split table — and the buckets are then joined consecutively through the
+// joining split table.
+func (rc *runCtx) runGrace() error {
+	nb := rc.optimizerBuckets(false)
+	if rc.spec.BucketTuning {
+		// Bucket tuning [KITS83]: form several times more buckets than
+		// memory strictly requires, then combine them into memory-sized
+		// join groups by their measured sizes.
+		tune := rc.spec.TuneFactor
+		if tune < 2 {
+			tune = 3
+		}
+		nb = rc.optimizerBuckets(false) * tune
+		if !rc.spec.SkipAnalyzer {
+			nb = split.AnalyzeBuckets(false, len(rc.diskSites), len(rc.joinSites), nb)
+		}
+	}
+	rc.buckets = nb
+	pt, err := split.NewGrace(nb, rc.diskSites)
+	if err != nil {
+		return err
+	}
+
+	rb := rc.makeBucketFiles("grace.r", 0, nb)
+	sb := rc.makeBucketFiles("grace.s", 0, nb)
+	ff := rc.makeFormingFilters(0, nb)
+
+	rc.formPhase("form R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, pt, rb, 0, ff, true)
+	rc.formPhase("form S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, pt, sb, 0, ff, false)
+
+	for _, group := range rc.bucketGroups(rb, nb) {
+		var rsrc, ssrc []fileAt
+		label := "bucket"
+		for i, b := range group {
+			rsrc = append(rsrc, rc.bucketSources(rb, b)...)
+			ssrc = append(ssrc, rc.bucketSources(sb, b)...)
+			if i == 0 {
+				label = fmt.Sprintf("bucket %d", b+1)
+			} else {
+				label += fmt.Sprintf("+%d", b+1)
+			}
+		}
+		if err := rc.hashJoinStreams(label, rsrc, ssrc, rc.spec.HashSeed, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketGroups returns the joining order of buckets: one bucket per group
+// normally; with bucket tuning, buckets are first-fit-decreasing packed
+// into join groups using their *measured per-site loads*, so that no
+// joining site's share of a group exceeds its hash-table capacity even
+// under skew — the point of tuning.
+func (rc *runCtx) bucketGroups(rb []map[int]*wiss.File, nb int) [][]int {
+	if !rc.spec.BucketTuning {
+		groups := make([][]int, nb)
+		for b := range groups {
+			groups[b] = []int{b}
+		}
+		return groups
+	}
+	// Per-bucket load vector: tuples destined for each joining site
+	// under the joining split table. Fragments map 1:1 onto joining
+	// split-table indices (Section 4.1), so the fragment sizes are the
+	// per-join-process loads when disks and join nodes are matched;
+	// otherwise fall back to assuming even spread.
+	nj := len(rc.joinSites)
+	capPerSite := rc.tableCap() / tuple.Bytes
+	vec := make([][]int64, nb)
+	total := make([]int64, nb)
+	for b := 0; b < nb; b++ {
+		vec[b] = make([]int64, nj)
+		for i, ds := range rc.diskSites {
+			n := rb[b][ds].Len()
+			total[b] += n
+			if len(rc.diskSites) == nj {
+				vec[b][i%nj] += n
+			}
+		}
+		if len(rc.diskSites) != nj {
+			for j := range vec[b] {
+				vec[b][j] = (total[b] + int64(nj) - 1) / int64(nj)
+			}
+		}
+	}
+	order := make([]int, nb)
+	for b := range order {
+		order[b] = b
+	}
+	sort.SliceStable(order, func(i, j int) bool { return total[order[i]] > total[order[j]] })
+
+	var groups [][]int
+	var loads [][]int64
+	fits := func(g int, b int) bool {
+		for j := 0; j < nj; j++ {
+			if loads[g][j]+vec[b][j] > capPerSite {
+				return false
+			}
+		}
+		return true
+	}
+	for _, b := range order {
+		placed := false
+		for g := range groups {
+			if fits(g, b) {
+				groups[g] = append(groups[g], b)
+				for j := 0; j < nj; j++ {
+					loads[g][j] += vec[b][j]
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{b})
+			l := make([]int64, nj)
+			copy(l, vec[b])
+			loads = append(loads, l)
+		}
+	}
+	// Deterministic bucket order within each group.
+	for g := range groups {
+		sort.Ints(groups[g])
+	}
+	return groups
+}
+
+// makeFormingFilters builds one bit filter per (bucket, disk site) for the
+// FilterForming extension, or nil when it is disabled.
+func (rc *runCtx) makeFormingFilters(first, n int) []map[int]*bitfilter.Filter {
+	if !rc.spec.BitFilter || !rc.spec.FilterForming {
+		return nil
+	}
+	ff := make([]map[int]*bitfilter.Filter, n)
+	for b := first; b < n; b++ {
+		ff[b] = make(map[int]*bitfilter.Filter, len(rc.diskSites))
+		for _, ds := range rc.diskSites {
+			ff[b][ds] = bitfilter.New(rc.filterBits)
+		}
+	}
+	return ff
+}
+
+// makeBucketFiles creates one temporary bucket-fragment file per (bucket,
+// disk site) for buckets in [first, n).
+func (rc *runCtx) makeBucketFiles(name string, first, n int) []map[int]*wiss.File {
+	files := make([]map[int]*wiss.File, n)
+	for b := first; b < n; b++ {
+		files[b] = make(map[int]*wiss.File, len(rc.diskSites))
+		for _, ds := range rc.diskSites {
+			files[b][ds] = rc.newTempFile(fmt.Sprintf("%s.b%d", name, b), ds)
+		}
+	}
+	return files
+}
+
+// bucketSources lists the non-empty fragments of one bucket.
+func (rc *runCtx) bucketSources(files []map[int]*wiss.File, b int) []fileAt {
+	var src []fileAt
+	for _, ds := range rc.diskSites {
+		if f := files[b][ds]; f.Len() > 0 {
+			src = append(src, fileAt{site: ds, f: f})
+		}
+	}
+	return src
+}
+
+// formPhase redistributes a relation into bucket files through a
+// partitioning split table. firstDiskBucket is 0 for Grace; Hybrid callers
+// do not use formPhase (their partitioning overlaps with joining). When
+// forming filters are supplied they are built from the inner relation
+// (building=true) and applied to the outer, dropping non-joining tuples
+// before the disk write.
+func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.Pred, pt *split.PartTable,
+	buckets []map[int]*wiss.File, firstDiskBucket int,
+	formFilters []map[int]*bitfilter.Filter, building bool) {
+	ps := phaseSpec{
+		name:    name,
+		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
+		produce: map[int][]producerFn{},
+		consume: map[int]consumerFn{},
+	}
+	seed := rc.spec.HashSeed
+	for _, s := range rel.FragmentSites() {
+		f := rel.Fragments[s]
+		ps.produce[s] = append(ps.produce[s], func(a *cost.Acct, snd *netsim.Sender) {
+			f.Scan(a, func(t *tuple.Tuple) bool {
+				if !rc.scanPred(a, p, t) {
+					return true
+				}
+				a.AddCPU(rc.m.Hash)
+				h := split.Hash(t.Int(attr), seed)
+				b, dst := pt.Lookup(h)
+				snd.Send(dst, b, *t, h)
+				return true
+			})
+		})
+	}
+	for _, ds := range rc.diskSites {
+		ds := ds
+		ps.consume[ds] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			for _, b := range batches {
+				f := buckets[b.Tag][ds]
+				var flt *bitfilter.Filter
+				if formFilters != nil {
+					flt = formFilters[b.Tag][ds]
+				}
+				for i := range b.Tuples {
+					if flt != nil {
+						a.AddCPU(rc.m.FilterBit)
+						if building {
+							flt.Set(b.Hashes[i])
+						} else if !flt.Test(b.Hashes[i]) {
+							rc.filterDropped.Add(1)
+							continue
+						}
+					}
+					f.Append(a, b.Tuples[i])
+				}
+				if b.Local {
+					rc.formLocal.Add(int64(len(b.Tuples)))
+				} else {
+					rc.formRemote.Add(int64(len(b.Tuples)))
+				}
+			}
+			for bkt := firstDiskBucket; bkt < len(buckets); bkt++ {
+				buckets[bkt][ds].Flush(a)
+			}
+		}
+	}
+	rc.runPhase(ps)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"gammajoin/internal/bitfilter"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/netsim"
+	"gammajoin/internal/split"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wiss"
+)
+
+// runHybrid executes the parallel Hybrid hash-join (Section 3.4). The
+// partitioning of R into buckets is overlapped with building in-memory hash
+// tables from bucket 1 at the join sites, and the partitioning of S is
+// overlapped with probing; the remaining N-1 buckets are then joined like
+// Grace buckets. With AllowOverflow the first bucket may exceed memory and
+// the Simple-hash overflow mechanism resolves it (Figure 7's "optimistic"
+// strategy).
+func (rc *runCtx) runHybrid() error {
+	nb := rc.optimizerBuckets(true)
+	rc.buckets = nb
+	pt, err := split.NewHybrid(nb, rc.diskSites, rc.joinSites)
+	if err != nil {
+		return err
+	}
+	seed := rc.spec.HashSeed
+
+	tables := make(map[int]*gamma.HashTable, len(rc.joinSites))
+	var filters map[int]*bitfilter.Filter
+	if rc.spec.BitFilter {
+		filters = make(map[int]*bitfilter.Filter, len(rc.joinSites))
+	}
+	roverF := make(map[int]*wiss.File, len(rc.joinSites))
+	soverF := make(map[int]*wiss.File, len(rc.joinSites))
+	for _, j := range rc.joinSites {
+		tables[j] = gamma.NewHashTable(rc.m, rc.tableCap(), rc.spec.RAttr)
+		if filters != nil {
+			filters[j] = bitfilter.New(rc.filterBits)
+		}
+		home := rc.c.OverflowDiskSite(j)
+		roverF[j] = rc.newTempFile("hybrid.rover", home)
+		soverF[j] = rc.newTempFile("hybrid.sover", home)
+	}
+	rb := rc.makeBucketFiles("hybrid.r", 1, nb)
+	sb := rc.makeBucketFiles("hybrid.s", 1, nb)
+	ff := rc.makeFormingFilters(1, nb)
+
+	// ---- phase 1: partition R, building bucket 1 in memory ----
+	partR := phaseSpec{
+		name:    "partition R + build bucket 1",
+		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
+		produce: map[int][]producerFn{},
+		consume: map[int]consumerFn{},
+		write:   map[int]writerFn{},
+	}
+	for _, s := range rc.spec.R.FragmentSites() {
+		f := rc.spec.R.Fragments[s]
+		partR.produce[s] = append(partR.produce[s], func(a *cost.Acct, snd *netsim.Sender) {
+			f.Scan(a, func(t *tuple.Tuple) bool {
+				if !rc.scanPred(a, rc.spec.RPred, t) {
+					return true
+				}
+				a.AddCPU(rc.m.Hash)
+				h := split.Hash(t.Int(rc.spec.RAttr), seed)
+				b, dst := pt.Lookup(h)
+				if b == 0 {
+					snd.Send(dst, tagProbe, *t, h)
+				} else {
+					snd.Send(dst, b, *t, h)
+				}
+				return true
+			})
+		})
+	}
+	rc.hybridConsumers(partR.consume, func(j int) consumerFn {
+		return func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			tbl := tables[j]
+			var flt *bitfilter.Filter
+			if filters != nil {
+				flt = filters[j]
+			}
+			home := rc.c.OverflowDiskSite(j)
+			for _, b := range batches {
+				if b.Tag != tagProbe {
+					continue
+				}
+				for i := range b.Tuples {
+					h := b.Hashes[i]
+					if flt != nil {
+						a.AddCPU(rc.m.FilterBit)
+						flt.Set(h)
+					}
+					if gamma.AboveCutoff(tbl.Cutoff(), h) {
+						rc.rOverflowed.Add(1)
+						snd.Send(home, tagROverBase+j, b.Tuples[i], h)
+						continue
+					}
+					for _, ev := range tbl.Insert(a, b.Tuples[i], h) {
+						rc.rOverflowed.Add(1)
+						snd.Send(home, tagROverBase+j, ev, 0)
+					}
+				}
+			}
+			rc.overflowClears.Add(int64(tbl.Overflows()))
+		}
+	}, rb, ff, true)
+	rc.addOverflowWriters(partR.write, roverF, tagROverBase)
+	rc.runPhase(partR)
+
+	cutoffs := make(map[int]uint64, len(tables))
+	for j, tbl := range tables {
+		cutoffs[j] = tbl.Cutoff()
+	}
+
+	// ---- phase 2: partition S, probing bucket 1 on the fly ----
+	partS := phaseSpec{
+		name:    "partition S + probe bucket 1",
+		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
+		produce: map[int][]producerFn{},
+		consume: map[int]consumerFn{},
+		write:   map[int]writerFn{},
+	}
+	for _, s := range rc.spec.S.FragmentSites() {
+		f := rc.spec.S.Fragments[s]
+		partS.produce[s] = append(partS.produce[s], func(a *cost.Acct, snd *netsim.Sender) {
+			if filters != nil {
+				a.AddCPU(rc.m.PacketProto) // receive the shared filter packet
+			}
+			f.Scan(a, func(t *tuple.Tuple) bool {
+				if !rc.scanPred(a, rc.spec.SPred, t) {
+					return true
+				}
+				a.AddCPU(rc.m.Hash)
+				h := split.Hash(t.Int(rc.spec.SAttr), seed)
+				b, dst := pt.Lookup(h)
+				if b != 0 {
+					snd.Send(dst, b, *t, h)
+					return true
+				}
+				if filters != nil {
+					a.AddCPU(rc.m.FilterBit)
+					if !filters[dst].Test(h) {
+						rc.filterDropped.Add(1)
+						return true
+					}
+				}
+				if gamma.AboveCutoff(cutoffs[dst], h) {
+					rc.sOverflowed.Add(1)
+					snd.Send(rc.c.OverflowDiskSite(dst), tagSOverBase+dst, *t, h)
+					return true
+				}
+				snd.Send(dst, tagProbe, *t, h)
+				return true
+			})
+		})
+	}
+	rc.hybridConsumers(partS.consume, func(j int) consumerFn {
+		return func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			tbl := tables[j]
+			em := rc.newEmitter(j, snd)
+			for _, b := range batches {
+				if b.Tag != tagProbe {
+					continue
+				}
+				for i := range b.Tuples {
+					outer := &b.Tuples[i]
+					key := outer.Int(rc.spec.SAttr)
+					tbl.Probe(a, b.Hashes[i], key, func(match *tuple.Tuple) {
+						em.emit(a, match, outer)
+					})
+				}
+			}
+			rc.noteChains(tbl)
+		}
+	}, sb, ff, false)
+	// Disk-site consumers also append S-overflow batches sent directly by
+	// the producers; fold that into the bucket consumer via tag dispatch.
+	// Stage-2 writers only handle the result store (probe consumers emit
+	// composite tuples to them).
+	rc.addFileAppendConsumers(partS.consume, soverF, tagSOverBase)
+	for _, ds := range rc.diskSites {
+		ds := ds
+		partS.write[ds] = func(a *cost.Acct, batches []*netsim.Batch) {
+			rc.storeWriter(ds, a, batches)
+		}
+	}
+	rc.runPhase(partS)
+
+	// ---- phases 3..: join the on-disk buckets ----
+	for b := 1; b < nb; b++ {
+		rsrc := rc.bucketSources(rb, b)
+		ssrc := rc.bucketSources(sb, b)
+		if err := rc.hashJoinStreams(fmt.Sprintf("bucket %d", b+1), rsrc, ssrc, seed, 0); err != nil {
+			return err
+		}
+	}
+
+	// ---- resolve bucket-1 overflow, if any (AllowOverflow mode) ----
+	var rover, sover []fileAt
+	for _, j := range rc.joinSites {
+		if roverF[j].Len() > 0 {
+			home := rc.c.OverflowDiskSite(j)
+			rover = append(rover, fileAt{site: home, f: roverF[j]})
+			sover = append(sover, fileAt{site: home, f: soverF[j]})
+		}
+	}
+	if len(rover) > 0 {
+		return rc.hashJoinStreams("bucket 1", rover, sover, seed+1, 1)
+	}
+	return nil
+}
+
+// hybridConsumers installs one consumer per site participating in a Hybrid
+// partitioning phase: join sites get the build/probe behaviour from mk,
+// disk sites append bucket-file batches, and a site playing both roles (the
+// local configuration) dispatches on the stream tag.
+func (rc *runCtx) hybridConsumers(consume map[int]consumerFn, mk func(j int) consumerFn,
+	buckets []map[int]*wiss.File, formFilters []map[int]*bitfilter.Filter, building bool) {
+	isJoin := make(map[int]bool, len(rc.joinSites))
+	for _, j := range rc.joinSites {
+		isJoin[j] = true
+	}
+	bucketFn := func(ds int) consumerFn {
+		return func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			for _, b := range batches {
+				if b.Tag < 1 || b.Tag >= len(buckets) {
+					continue
+				}
+				f := buckets[b.Tag][ds]
+				var flt *bitfilter.Filter
+				if formFilters != nil {
+					flt = formFilters[b.Tag][ds]
+				}
+				for i := range b.Tuples {
+					if flt != nil {
+						a.AddCPU(rc.m.FilterBit)
+						if building {
+							flt.Set(b.Hashes[i])
+						} else if !flt.Test(b.Hashes[i]) {
+							rc.filterDropped.Add(1)
+							continue
+						}
+					}
+					f.Append(a, b.Tuples[i])
+				}
+				if b.Local {
+					rc.formLocal.Add(int64(len(b.Tuples)))
+				} else {
+					rc.formRemote.Add(int64(len(b.Tuples)))
+				}
+			}
+			for bkt := 1; bkt < len(buckets); bkt++ {
+				buckets[bkt][ds].Flush(a)
+			}
+		}
+	}
+	for _, ds := range rc.diskSites {
+		consume[ds] = bucketFn(ds)
+	}
+	for _, j := range rc.joinSites {
+		join := mk(j)
+		if prev, ok := consume[j]; ok {
+			prev := prev
+			consume[j] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+				join(a, snd, batches)
+				prev(a, snd, batches)
+			}
+		} else {
+			consume[j] = join
+		}
+	}
+}

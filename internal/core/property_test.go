@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wisconsin"
+	"gammajoin/internal/xrand"
+)
+
+// TestJoinEquivalenceRandomized is the central correctness property: for
+// random cluster shapes, declustering strategies, memory budgets, join
+// attributes, and filter settings, all four parallel algorithms produce
+// exactly the nested-loops join cardinality.
+func TestJoinEquivalenceRandomized(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nDisks := r.Intn(7) + 2 // 2..8
+		nDiskless := r.Intn(5)  // 0..4
+		outerN := r.Intn(1500) + 500
+		innerN := r.Intn(outerN/4) + 10
+		strat := []gamma.Strategy{gamma.RoundRobin, gamma.HashPart, gamma.RangeUniform}[r.Intn(3)]
+		attrs := []int{tuple.Unique1, tuple.OnePercent, tuple.Ten}
+		rAttr := attrs[r.Intn(len(attrs))]
+		sAttr := rAttr // must share a domain for meaningful joins
+		ratio := []float64{1.0, 0.6, 0.3, 0.15}[r.Intn(4)]
+		filter := r.Intn(2) == 0
+
+		var c *gamma.Cluster
+		if nDiskless > 0 {
+			c = gamma.NewRemote(nDisks, nDiskless, nil)
+		} else {
+			c = gamma.NewLocal(nDisks, nil)
+		}
+		outerT := wisconsin.Generate(outerN, seed+1)
+		innerT := wisconsin.RandomSubset(wisconsin.Generate(outerN, seed+2), innerN, seed+3)
+		s, err := gamma.Load(c, "S", outerT, strat, tuple.Unique1)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rr, err := gamma.Load(c, "R", innerT, strat, tuple.Unique1)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := refJoinCount(innerT, outerT, rAttr, sAttr)
+		for _, alg := range allAlgs {
+			rep, err := Run(c, Spec{
+				Alg: alg, R: rr, S: s,
+				RAttr: rAttr, SAttr: sAttr,
+				MemRatio: ratio, BitFilter: filter, StoreResult: true,
+			})
+			if err != nil {
+				t.Logf("seed %d alg %v: %v", seed, alg, err)
+				return false
+			}
+			if rep.ResultCount != want {
+				t.Logf("seed %d alg %v (disks=%d diskless=%d strat=%v attr=%d ratio=%.2f filter=%v): got %d want %d",
+					seed, alg, nDisks, nDiskless, strat, rAttr, ratio, filter,
+					rep.ResultCount, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRelations(t *testing.T) {
+	c := gamma.NewLocal(4, nil)
+	empty, err := gamma.Load(c, "E", nil, gamma.RoundRobin, tuple.Unique1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := gamma.Load(c, "F", wisconsin.Generate(100, 1), gamma.HashPart, tuple.Unique1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range allAlgs {
+		// Empty inner.
+		rep, err := Run(c, Spec{Alg: alg, R: empty, S: full,
+			RAttr: tuple.Unique1, SAttr: tuple.Unique1, MemBytes: 1 << 20, StoreResult: true})
+		if err != nil {
+			t.Fatalf("%v empty inner: %v", alg, err)
+		}
+		if rep.ResultCount != 0 {
+			t.Fatalf("%v empty inner produced %d results", alg, rep.ResultCount)
+		}
+		// Empty outer.
+		rep, err = Run(c, Spec{Alg: alg, R: full, S: empty,
+			RAttr: tuple.Unique1, SAttr: tuple.Unique1, MemBytes: 1 << 20, StoreResult: true})
+		if err != nil {
+			t.Fatalf("%v empty outer: %v", alg, err)
+		}
+		if rep.ResultCount != 0 {
+			t.Fatalf("%v empty outer produced %d results", alg, rep.ResultCount)
+		}
+	}
+}
+
+func TestSingleSiteCluster(t *testing.T) {
+	c := gamma.NewLocal(1, nil)
+	f := mkFixture(t, c, 500, gamma.HashPart, tuple.Unique1)
+	for _, alg := range allAlgs {
+		rep := runJoin(t, f, alg, 0.4, nil)
+		if rep.ResultCount != 50 {
+			t.Errorf("%v on 1 site: count %d, want 50", alg, rep.ResultCount)
+		}
+	}
+}
+
+func TestTinyMemoryStillCorrect(t *testing.T) {
+	// One page of aggregate memory: pathological, but every algorithm
+	// must still terminate with the right answer via overflow recursion
+	// or many buckets.
+	c := gamma.NewLocal(4, nil)
+	f := mkFixture(t, c, 1000, gamma.HashPart, tuple.Unique1)
+	for _, alg := range allAlgs {
+		rep := runJoin(t, f, alg, 0, func(sp *Spec) { sp.MemBytes = 8192 })
+		if rep.ResultCount != 100 {
+			t.Errorf("%v with one page of memory: count %d, want 100", alg, rep.ResultCount)
+		}
+	}
+}
+
+func TestInnerLargerThanOuter(t *testing.T) {
+	// The caller is supposed to pass the smaller relation as R, but the
+	// algorithms must stay correct if it does not.
+	c := gamma.NewLocal(4, nil)
+	aTuples := wisconsin.Generate(300, 2)
+	bTuples := wisconsin.Generate(900, 3)
+	s, _ := gamma.Load(c, "A", aTuples, gamma.HashPart, tuple.Unique1)
+	r, _ := gamma.Load(c, "B", bTuples, gamma.HashPart, tuple.Unique1)
+	want := refJoinCount(bTuples, aTuples, tuple.Unique1, tuple.Unique1)
+	for _, alg := range allAlgs {
+		rep, err := Run(c, Spec{Alg: alg, R: r, S: s,
+			RAttr: tuple.Unique1, SAttr: tuple.Unique1, MemRatio: 0.5, StoreResult: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ResultCount != want {
+			t.Errorf("%v inner>outer: count %d, want %d", alg, rep.ResultCount, want)
+		}
+	}
+}
+
+func TestNoStoreNoCollect(t *testing.T) {
+	c := gamma.NewLocal(4, nil)
+	f := mkFixture(t, c, 400, gamma.HashPart, tuple.Unique1)
+	rep := runJoin(t, f, Hybrid, 1.0, func(sp *Spec) { sp.StoreResult = false })
+	if rep.ResultCount != 40 || len(rep.Results) != 0 {
+		t.Fatalf("count=%d collected=%d", rep.ResultCount, len(rep.Results))
+	}
+	stored := runJoin(t, f, Hybrid, 1.0, nil)
+	if stored.Response <= rep.Response {
+		t.Fatal("storing the result should cost time")
+	}
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/netsim"
+	"gammajoin/internal/pred"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wiss"
+)
+
+// Stream tags. Tags identify the logical stream a packet belongs to so one
+// consumer goroutine per site can serve several operator roles in a phase.
+const (
+	tagProbe     = -1      // tuples for hash-table build or probe
+	tagStore     = -2      // composite result tuples for the store operator
+	tagROverBase = 1 << 20 // + join site: inner-relation overflow file
+	tagSOverBase = 1 << 21 // + join site: outer-relation overflow file
+	// Bucket tags are the bucket number itself (0..buckets-1).
+)
+
+// runCtx carries the state of one join execution.
+type runCtx struct {
+	c    *gamma.Cluster
+	q    *gamma.Query
+	spec *Spec
+	m    *cost.Model
+
+	joinSites  []int
+	diskSites  []int
+	memTotal   int64
+	memPerSite int64
+
+	netStart  netsim.Counters
+	diskStart disk.Counters
+
+	// stats, updated from worker goroutines
+	resultCount    atomic.Int64
+	filterDropped  atomic.Int64
+	overflowClears atomic.Int64
+	rOverflowed    atomic.Int64
+	sOverflowed    atomic.Int64
+	formLocal      atomic.Int64
+	formRemote     atomic.Int64
+
+	overflowLevels int
+	buckets        int
+	sortPassesR    int
+	sortPassesS    int
+	filterBits     int
+
+	chainMu    sync.Mutex
+	chainSum   float64
+	chainSites int
+	chainMax   int
+
+	resMu   sync.Mutex
+	results []tuple.Joined
+
+	// result store state per disk site
+	storeCount map[int]*int64
+	fileSeq    int
+}
+
+func newRunCtx(c *gamma.Cluster, spec *Spec) (*runCtx, error) {
+	if spec.R == nil || spec.S == nil {
+		return nil, fmt.Errorf("core: spec needs both relations")
+	}
+	if spec.RAttr < 0 || spec.RAttr >= tuple.NumInts || spec.SAttr < 0 || spec.SAttr >= tuple.NumInts {
+		return nil, fmt.Errorf("core: invalid join attributes %d/%d", spec.RAttr, spec.SAttr)
+	}
+	mem, err := spec.memBytes()
+	if err != nil {
+		return nil, err
+	}
+	js := spec.JoinSites
+	if len(js) == 0 {
+		js = c.JoinSites()
+	}
+	if spec.Alg == SortMerge {
+		// Our sort-merge cannot use diskless processors (Section 3.1):
+		// joins always run on the sites holding the sorted fragments.
+		js = c.DiskSites()
+	}
+	for _, s := range js {
+		if s < 0 || s >= len(c.Sites) {
+			return nil, fmt.Errorf("core: join site %d out of range", s)
+		}
+	}
+	if len(c.DiskSites()) == 0 {
+		return nil, fmt.Errorf("core: cluster has no disk sites")
+	}
+	rc := &runCtx{
+		c:          c,
+		q:          c.NewQuery(),
+		spec:       spec,
+		m:          c.Model,
+		joinSites:  js,
+		diskSites:  c.DiskSites(),
+		memTotal:   mem,
+		memPerSite: mem / int64(len(js)),
+		netStart:   c.Net.Counters(),
+		diskStart:  c.DiskCounters(),
+		storeCount: make(map[int]*int64),
+	}
+	if rc.memPerSite < int64(tuple.Bytes) {
+		rc.memPerSite = tuple.Bytes
+	}
+	if spec.BitFilter {
+		rc.filterBits = filterBits(c.Model, len(js))
+	}
+	for _, ds := range rc.diskSites {
+		var n int64
+		rc.storeCount[ds] = &n
+	}
+	return rc, nil
+}
+
+// tableCap is the per-site hash-table capacity: the per-site share of the
+// aggregate join memory rounded up to a whole tuple slot. The one-slot
+// rounding absorbs the remainder when the dense benchmark key domain does
+// not divide evenly by the split-table size, so integral-bucket runs on
+// uniform data stay exactly within memory ("neither Grace or Hybrid joins
+// ever experienced hash table overflow") while skewed inner relations
+// overflow as in Section 4.4.
+func (rc *runCtx) tableCap() int64 {
+	return rc.memPerSite + tuple.Bytes
+}
+
+func (rc *runCtx) report() *Report {
+	// Forming counts only tuples actually written into disk buckets or
+	// redistribution temp files (the paper's Table 2 "local writes"
+	// metric) — not the overlapped in-memory build/probe traffic and not
+	// result storing.
+	forming := netsim.Counters{
+		TuplesLocal:  rc.formLocal.Load(),
+		TuplesRemote: rc.formRemote.Load(),
+	}
+	r := &Report{
+		Alg:               rc.spec.Alg,
+		Response:          rc.q.Response(),
+		Phases:            rc.q.Phases,
+		ResultCount:       rc.resultCount.Load(),
+		Results:           rc.results,
+		Buckets:           rc.buckets,
+		OverflowLevels:    rc.overflowLevels,
+		OverflowClears:    rc.overflowClears.Load(),
+		ROverflowed:       rc.rOverflowed.Load(),
+		SOverflowed:       rc.sOverflowed.Load(),
+		FilterBitsPerSite: rc.filterBits,
+		FilterDropped:     rc.filterDropped.Load(),
+		Net:               rc.c.Net.Counters().Sub(rc.netStart),
+		Disk:              rc.c.DiskCounters().Sub(rc.diskStart),
+		Forming:           forming,
+		SortPassesR:       rc.sortPassesR,
+		SortPassesS:       rc.sortPassesS,
+	}
+	rc.chainMu.Lock()
+	if rc.chainSites > 0 {
+		r.AvgChain = rc.chainSum / float64(rc.chainSites)
+	}
+	r.MaxChain = rc.chainMax
+	rc.chainMu.Unlock()
+
+	// Utilization: per-site CPU time over the response time, averaged
+	// within each processor class; bottleneck: the busiest site's summed
+	// resource time (CPU + disk + net).
+	busy := map[int]int64{}
+	cpu := map[int]int64{}
+	for _, p := range rc.q.Phases {
+		for site, acct := range p.PerSite {
+			cpu[site] += acct.CPU
+			busy[site] += acct.CPU + acct.Disk + acct.Net
+		}
+	}
+	resp := float64(r.Response.Nanoseconds())
+	if resp > 0 {
+		var dSum, dn, lSum, ln float64
+		for _, site := range rc.c.DiskSites() {
+			dSum += float64(cpu[site])
+			dn++
+		}
+		for _, site := range rc.c.DisklessSites() {
+			lSum += float64(cpu[site])
+			ln++
+		}
+		if dn > 0 {
+			r.UtilDisk = dSum / dn / resp
+		}
+		if ln > 0 {
+			r.UtilDiskless = lSum / ln / resp
+		}
+	}
+	var maxBusy int64
+	for _, b := range busy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	r.BottleneckBusy = time.Duration(maxBusy)
+	return r
+}
+
+func (rc *runCtx) noteChains(ht *gamma.HashTable) {
+	avg, maxLen := ht.ChainStats()
+	rc.chainMu.Lock()
+	if avg > 0 {
+		rc.chainSum += avg
+		rc.chainSites++
+	}
+	if maxLen > rc.chainMax {
+		rc.chainMax = maxLen
+	}
+	rc.chainMu.Unlock()
+}
+
+// scanPred charges and evaluates an optional scan predicate; a nil
+// predicate always passes for free.
+func (rc *runCtx) scanPred(a *cost.Acct, p pred.Pred, t *tuple.Tuple) bool {
+	if p == nil {
+		return true
+	}
+	a.AddCPU(int64(p.Nodes()) * rc.m.PredEval)
+	return p.Eval(t)
+}
+
+// fileAt pairs a file with the site whose process scans or writes it.
+type fileAt struct {
+	site int
+	f    *wiss.File
+}
+
+// newTempFile creates a temporary file on a disk site's disk.
+func (rc *runCtx) newTempFile(name string, site int) *wiss.File {
+	d, err := rc.c.Disk(site)
+	if err != nil {
+		panic(fmt.Sprintf("core: temp file on diskless site %d", site))
+	}
+	rc.fileSeq++
+	return wiss.NewFile(fmt.Sprintf("%s#%d", name, rc.fileSeq), d, rc.m)
+}
+
+// producerFn produces tuples into the phase's first exchange via snd.
+type producerFn func(a *cost.Acct, snd *netsim.Sender)
+
+// consumerFn consumes the (deterministically ordered) batches addressed to
+// its site and may produce into the phase's second exchange via snd.
+type consumerFn func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch)
+
+// writerFn consumes second-stage batches (overflow files, result store).
+type writerFn func(a *cost.Acct, batches []*netsim.Batch)
+
+// phaseSpec wires one barrier-synchronized operator phase.
+type phaseSpec struct {
+	name    string
+	end     gamma.EndOpts
+	solo    map[int][]func(a *cost.Acct) // site-local work, no communication
+	produce map[int][]producerFn
+	consume map[int]consumerFn
+	write   map[int]writerFn
+}
+
+// drainSorted collects every batch from ch, charging receive costs, and
+// returns them ordered by (source site, sequence) so processing order — and
+// therefore overflow behaviour — is deterministic regardless of goroutine
+// scheduling.
+func drainSorted(net *netsim.Network, a *cost.Acct, ch <-chan *netsim.Batch) []*netsim.Batch {
+	var batches []*netsim.Batch
+	for b := range ch {
+		net.Recv(a, b)
+		batches = append(batches, b)
+	}
+	sort.Slice(batches, func(i, j int) bool {
+		if batches[i].Src != batches[j].Src {
+			return batches[i].Src < batches[j].Src
+		}
+		return batches[i].Seq < batches[j].Seq
+	})
+	return batches
+}
+
+// runPhase executes one phase: solo workers and producers run first-stage,
+// consumers drain the first exchange (and may emit to the second), writers
+// drain the second exchange.
+func (rc *runCtx) runPhase(ps phaseSpec) {
+	p := rc.q.NewPhase(ps.name)
+	ex1 := rc.c.NewExchange()
+	ex2 := rc.c.NewExchange()
+
+	var writers sync.WaitGroup
+	for site, fn := range ps.write {
+		writers.Add(1)
+		go func(site int, fn writerFn) {
+			defer writers.Done()
+			a := p.Acct(site)
+			fn(a, drainSorted(rc.c.Net, a, ex2.Chan(site)))
+		}(site, fn)
+	}
+
+	var consumers sync.WaitGroup
+	for site, fn := range ps.consume {
+		consumers.Add(1)
+		go func(site int, fn consumerFn) {
+			defer consumers.Done()
+			a := p.Acct(site)
+			snd := rc.c.Net.NewSender(a, site, ex2.Deliver)
+			fn(a, snd, drainSorted(rc.c.Net, a, ex1.Chan(site)))
+			snd.FlushAll()
+		}(site, fn)
+	}
+
+	var producers sync.WaitGroup
+	for site, fns := range ps.produce {
+		producers.Add(1)
+		go func(site int, fns []producerFn) {
+			defer producers.Done()
+			a := p.Acct(site)
+			snd := rc.c.Net.NewSender(a, site, ex1.Deliver)
+			for _, fn := range fns {
+				fn(a, snd)
+			}
+			snd.FlushAll()
+		}(site, fns)
+	}
+	var solos sync.WaitGroup
+	for site, fns := range ps.solo {
+		solos.Add(1)
+		go func(site int, fns []func(*cost.Acct)) {
+			defer solos.Done()
+			a := p.Acct(site)
+			for _, fn := range fns {
+				fn(a)
+			}
+		}(site, fns)
+	}
+
+	producers.Wait()
+	solos.Wait()
+	ex1.Close()
+	consumers.Wait()
+	ex2.Close()
+	writers.Wait()
+
+	if ps.end.Producers == 0 {
+		ps.end.Producers = len(ps.produce)
+	}
+	p.End(ps.end)
+}
+
+// emitResult counts, optionally collects, and optionally routes one result
+// tuple to the store operator at a disk site chosen round-robin.
+type resultEmitter struct {
+	rc  *runCtx
+	rr  int // round-robin cursor over disk sites
+	snd *netsim.Sender
+}
+
+func (rc *runCtx) newEmitter(joinSite int, snd *netsim.Sender) *resultEmitter {
+	return &resultEmitter{rc: rc, rr: joinSite, snd: snd}
+}
+
+func (e *resultEmitter) emit(a *cost.Acct, inner, outer *tuple.Tuple) {
+	rc := e.rc
+	a.AddCPU(rc.m.Result)
+	rc.resultCount.Add(1)
+	if rc.spec.CollectResults {
+		rc.resMu.Lock()
+		rc.results = append(rc.results, tuple.Joined{Inner: *inner, Outer: *outer})
+		rc.resMu.Unlock()
+	}
+	if rc.spec.StoreResult {
+		e.rr++
+		dst := rc.diskSites[e.rr%len(rc.diskSites)]
+		e.snd.SendJoined(dst, tagStore, tuple.Joined{Inner: *inner, Outer: *outer})
+	}
+}
+
+// storeWriter appends result tuples at a disk site, charging tuple copies
+// and page writes for the result relation fragment.
+func (rc *runCtx) storeWriter(site int, a *cost.Acct, batches []*netsim.Batch) {
+	d, err := rc.c.Disk(site)
+	if err != nil {
+		panic("core: store writer on diskless site")
+	}
+	perPage := rc.m.P.PageBytes / tuple.JoinedBytes
+	if perPage < 1 {
+		perPage = 1
+	}
+	cnt := rc.storeCount[site]
+	resultFileID := int64(-1000 - site) // stable pseudo file id per site
+	for _, b := range batches {
+		if b.Tag != tagStore {
+			continue
+		}
+		for range b.Joined {
+			a.AddCPU(rc.m.WriteTuple)
+			*cnt++
+			if *cnt%int64(perPage) == 0 {
+				d.WritePage(a, resultFileID)
+			}
+		}
+	}
+}

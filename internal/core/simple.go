@@ -1,0 +1,18 @@
+package core
+
+// runSimple executes the parallel Simple hash-join (Section 3.2): the inner
+// relation is staged directly into in-memory hash tables at the join sites;
+// memory overflow is cleared to per-site overflow files via the
+// histogram/cutoff mechanism, and the overflow partitions are joined
+// recursively with a new hash function per level.
+func (rc *runCtx) runSimple() error {
+	var rsrc, ssrc []fileAt
+	for _, s := range rc.spec.R.FragmentSites() {
+		rsrc = append(rsrc, fileAt{site: s, f: rc.spec.R.Fragments[s]})
+	}
+	for _, s := range rc.spec.S.FragmentSites() {
+		ssrc = append(ssrc, fileAt{site: s, f: rc.spec.S.Fragments[s]})
+	}
+	return rc.hashJoinStreamsPred("simple", rsrc, ssrc, rc.spec.HashSeed, 0,
+		rc.spec.RPred, rc.spec.SPred)
+}

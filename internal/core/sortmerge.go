@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"gammajoin/internal/bitfilter"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/netsim"
+	"gammajoin/internal/pred"
+	"gammajoin/internal/split"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wiss"
+)
+
+// runSortMerge executes the parallel sort-merge join (Section 3.1): both
+// relations are redistributed by hashing the join attribute across the disk
+// sites and stored in temporary files, the files are sorted in parallel
+// with the available sort/merge memory, and a local merge join computes the
+// result at each site. Bit filters are built at each disk site as the inner
+// relation arrives and applied to the outer relation before it is stored —
+// eliminated tuples are never written, sorted, or merged.
+func (rc *runCtx) runSortMerge() error {
+	sites := rc.diskSites
+	jt := &split.JoinTable{Sites: sites}
+	memPerSite := rc.memTotal / int64(len(sites))
+	if memPerSite < int64(rc.m.P.PageBytes) {
+		memPerSite = int64(rc.m.P.PageBytes)
+	}
+
+	tmpR := make(map[int]*wiss.File, len(sites))
+	srtR := make(map[int]*wiss.File, len(sites))
+	tmpS := make(map[int]*wiss.File, len(sites))
+	srtS := make(map[int]*wiss.File, len(sites))
+	var filters map[int]*bitfilter.Filter
+	if rc.spec.BitFilter {
+		filters = make(map[int]*bitfilter.Filter, len(sites))
+	}
+	for _, s := range sites {
+		tmpR[s] = rc.newTempFile("sm.tmpR", s)
+		srtR[s] = rc.newTempFile("sm.srtR", s)
+		tmpS[s] = rc.newTempFile("sm.tmpS", s)
+		srtS[s] = rc.newTempFile("sm.srtS", s)
+		if filters != nil {
+			filters[s] = bitfilter.New(rc.filterBits)
+		}
+	}
+
+	// Partition R across the disk sites, building per-site bit filters.
+	rc.smPartition("partition R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, jt, tmpR, filters, true)
+	rc.sortPhase("sort R", tmpR, srtR, rc.spec.RAttr, memPerSite, &rc.sortPassesR)
+
+	// Partition S; the filter eliminates non-joining tuples before they
+	// are written to disk.
+	rc.smPartition("partition S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, jt, tmpS, filters, false)
+	rc.sortPhase("sort S", tmpS, srtS, rc.spec.SAttr, memPerSite, &rc.sortPassesS)
+
+	// Local merge join in parallel across the disk sites.
+	merge := phaseSpec{
+		name:    "merge join",
+		produce: map[int][]producerFn{},
+		consume: map[int]consumerFn{},
+	}
+	for _, s := range sites {
+		s := s
+		merge.produce[s] = append(merge.produce[s], func(a *cost.Acct, snd *netsim.Sender) {
+			rc.mergeJoinSite(s, a, snd, srtR[s], srtS[s])
+		})
+	}
+	for _, ds := range rc.diskSites {
+		ds := ds
+		merge.consume[ds] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			rc.storeWriter(ds, a, batches)
+		}
+	}
+	rc.runPhase(merge)
+	return nil
+}
+
+// smPartition redistributes one relation through the joining split table
+// into per-site temporary files. When building is true the per-site bit
+// filters are populated from the arriving tuples; otherwise arriving tuples
+// are tested against the local filter and dropped on a miss.
+func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred.Pred, jt *split.JoinTable,
+	tmp map[int]*wiss.File, filters map[int]*bitfilter.Filter, building bool) {
+	ps := phaseSpec{
+		name:    name,
+		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
+		produce: map[int][]producerFn{},
+		consume: map[int]consumerFn{},
+	}
+	for _, s := range rel.FragmentSites() {
+		f := rel.Fragments[s]
+		ps.produce[s] = append(ps.produce[s], func(a *cost.Acct, snd *netsim.Sender) {
+			f.Scan(a, func(t *tuple.Tuple) bool {
+				if !rc.scanPred(a, p, t) {
+					return true
+				}
+				a.AddCPU(rc.m.Hash)
+				h := split.Hash(t.Int(attr), rc.spec.HashSeed)
+				snd.Send(jt.Lookup(h), tagProbe, *t, h)
+				return true
+			})
+		})
+	}
+	for _, s := range rc.diskSites {
+		s := s
+		ps.consume[s] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
+			f := tmp[s]
+			var flt *bitfilter.Filter
+			if filters != nil {
+				flt = filters[s]
+			}
+			for _, b := range batches {
+				if b.Tag != tagProbe {
+					continue
+				}
+				for i := range b.Tuples {
+					if flt != nil {
+						a.AddCPU(rc.m.FilterBit)
+						if building {
+							flt.Set(b.Hashes[i])
+						} else if !flt.Test(b.Hashes[i]) {
+							rc.filterDropped.Add(1)
+							continue
+						}
+					}
+					f.Append(a, b.Tuples[i])
+				}
+			}
+			f.Flush(a)
+			if b := b2Local(batches); b.local+b.remote > 0 {
+				rc.formLocal.Add(b.local)
+				rc.formRemote.Add(b.remote)
+			}
+		}
+	}
+	rc.runPhase(ps)
+}
+
+type localRemote struct{ local, remote int64 }
+
+func b2Local(batches []*netsim.Batch) localRemote {
+	var lr localRemote
+	for _, b := range batches {
+		if b.Local {
+			lr.local += int64(len(b.Tuples))
+		} else {
+			lr.remote += int64(len(b.Tuples))
+		}
+	}
+	return lr
+}
+
+// sortPhase sorts every site's temporary file in parallel and records the
+// maximum number of merge passes across the sites.
+func (rc *runCtx) sortPhase(name string, src, dst map[int]*wiss.File, attr int,
+	memPerSite int64, passes *int) {
+	var mu sync.Mutex
+	ps := phaseSpec{name: name, solo: map[int][]func(a *cost.Acct){}}
+	for _, s := range rc.diskSites {
+		s := s
+		ps.solo[s] = append(ps.solo[s], func(a *cost.Acct) {
+			st, err := wiss.Sort(a, src[s], dst[s], attr, memPerSite)
+			if err != nil {
+				panic(err) // destination files are freshly created
+			}
+			mu.Lock()
+			if st.MergePasses > *passes {
+				*passes = st.MergePasses
+			}
+			mu.Unlock()
+		})
+	}
+	rc.runPhase(ps)
+}
+
+// mergeJoinSite merge-joins the two sorted local files, grouping duplicate
+// inner keys so the outer scan never backs up. When the inner file is
+// exhausted the outer scan stops early, skipping unread pages — the paper's
+// explanation for sort-merge's strong NU performance.
+func (rc *runCtx) mergeJoinSite(site int, a *cost.Acct, snd *netsim.Sender, rf, sf *wiss.File) {
+	em := rc.newEmitter(site, snd)
+	rcur := rf.NewCursor(a)
+	scur := sf.NewCursor(a)
+	rt, rok := rcur.Next()
+	st, sok := scur.Next()
+	var group []tuple.Tuple
+	for rok && sok {
+		a.AddCPU(rc.m.SortCompare)
+		rv := rt.Int(rc.spec.RAttr)
+		sv := st.Int(rc.spec.SAttr)
+		switch {
+		case rv < sv:
+			rt, rok = rcur.Next()
+		case sv < rv:
+			st, sok = scur.Next()
+		default:
+			// Collect the group of inner tuples sharing this key.
+			group = group[:0]
+			group = append(group, rt)
+			for {
+				rt, rok = rcur.Next()
+				if !rok || rt.Int(rc.spec.RAttr) != rv {
+					break
+				}
+				a.AddCPU(rc.m.SortCompare)
+				group = append(group, rt)
+			}
+			for sok && st.Int(rc.spec.SAttr) == rv {
+				a.AddCPU(rc.m.SortCompare)
+				for i := range group {
+					em.emit(a, &group[i], &st)
+				}
+				st, sok = scur.Next()
+			}
+		}
+	}
+}

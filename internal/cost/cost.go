@@ -1,0 +1,255 @@
+// Package cost defines the hardware cost model used to convert event counts
+// (tuples scanned, pages read, packets sent, ...) into simulated response
+// times for the Gamma shared-nothing machine reproduction.
+//
+// The model is deliberately simple and completely deterministic: every
+// primitive operation the join algorithms perform has a fixed cost in
+// nanoseconds, derived from a small set of hardware parameters calibrated to
+// the hardware described in Schneider & DeWitt (SIGMOD 1989): VAX 11/750
+// processors (~0.6 MIPS), 333 MB Fujitsu disks with 8 KB pages, and an
+// 80 Mbit/s token ring with 2 KB network packets.
+//
+// Response times produced by the simulator are therefore not wall-clock
+// measurements; they are exact functions of the work each algorithm performs,
+// which is what the paper's relative comparisons depend on.
+package cost
+
+import "time"
+
+// Params are the user-tunable hardware parameters. All CPU costs are
+// expressed in machine instructions and converted to time using MIPS.
+type Params struct {
+	// MIPS is the per-processor speed in millions of instructions per
+	// second. The VAX 11/750 used by Gamma is commonly rated at 0.6 MIPS.
+	MIPS float64
+
+	// PageBytes is the disk page size. The paper uses 8 KB pages.
+	PageBytes int
+	// PacketBytes is the network packet size. The paper uses 2 KB packets
+	// (split tables larger than one packet must be sent in pieces).
+	PacketBytes int
+	// NetMBps is the network wire speed in megabytes per second
+	// (80 Mbit/s ring = 10 MB/s).
+	NetMBps float64
+
+	// SeqPageMs is the time to transfer one page sequentially (read-ahead
+	// hides most seek activity during sequential scans).
+	SeqPageMs float64
+	// RandPageMs is the time for a random page access (seek + rotational
+	// latency + transfer).
+	RandPageMs float64
+	// FileSwitchMs is the short-seek penalty charged when consecutive
+	// accesses on one disk touch different files (e.g. round-robin writes
+	// into many bucket files).
+	FileSwitchMs float64
+
+	// Per-tuple CPU costs, in instructions.
+	ReadTupleInstr   int64 // fetch next tuple from a page during a scan
+	WriteTupleInstr  int64 // copy a tuple into an output page or packet
+	HashInstr        int64 // hash the join attribute and index a split table
+	InsertInstr      int64 // insert into an in-memory hash table
+	ProbeInstr       int64 // initiate a hash-table probe
+	ChainInstr       int64 // follow + compare one hash-chain element
+	ResultInstr      int64 // build one composite result tuple
+	FilterBitInstr   int64 // set or test one bit-filter bit
+	SortCompareInstr int64 // one comparison during sorting or merging
+	SortMoveInstr    int64 // move one tuple during a sort or merge pass
+	HistogramInstr   int64 // update the overflow histogram for one tuple
+	PredEvalInstr    int64 // evaluate one compiled predicate node
+	AggUpdateInstr   int64 // fold one tuple into an aggregate
+
+	// Network protocol CPU, in instructions, charged per packet at each
+	// end. Local (short-circuited) packets skip the wire and most of the
+	// protocol stack but are not free (the paper stresses this).
+	PacketProtoInstr      int64
+	PacketProtoLocalInstr int64
+
+	// Scheduling overheads.
+	ControlMsgInstr int64         // per control message (operator start/done)
+	PhaseStartup    time.Duration // flat scheduler latency per operator phase
+
+	// SplitEntryBytes is the wire size of one split-table entry
+	// (machine id, port number, and per-entry overflow-function state).
+	// 40 bytes makes a 7-bucket x 8-disk table exceed one 2 KB packet,
+	// reproducing the upturn the paper observes when memory is most scarce.
+	SplitEntryBytes int
+
+	// FilterOverheadBitsPerSite is packet overhead subtracted per joining
+	// site when carving one shared 2 KB packet into per-site bit filters.
+	// 75 bits/site yields the paper's 1973 bits/site with 8 join sites.
+	FilterOverheadBitsPerSite int
+}
+
+// DefaultParams returns the Gamma-calibrated parameter set.
+func DefaultParams() Params {
+	return Params{
+		MIPS:        0.60,
+		PageBytes:   8192,
+		PacketBytes: 2048,
+		NetMBps:     10.0,
+
+		SeqPageMs:    5.0,
+		RandPageMs:   30.0,
+		FileSwitchMs: 8.0,
+
+		ReadTupleInstr:   500,
+		WriteTupleInstr:  400,
+		HashInstr:        100,
+		InsertInstr:      200,
+		ProbeInstr:       250,
+		ChainInstr:       60,
+		ResultInstr:      500,
+		FilterBitInstr:   40,
+		SortCompareInstr: 80,
+		SortMoveInstr:    150,
+		HistogramInstr:   30,
+		PredEvalInstr:    60,
+		AggUpdateInstr:   80,
+
+		PacketProtoInstr:      10000,
+		PacketProtoLocalInstr: 2000,
+
+		ControlMsgInstr: 6000,
+		PhaseStartup:    30 * time.Millisecond,
+
+		SplitEntryBytes:           40,
+		FilterOverheadBitsPerSite: 75,
+	}
+}
+
+// Model holds precomputed per-operation costs in nanoseconds.
+type Model struct {
+	P Params
+
+	ReadTuple   int64
+	WriteTuple  int64
+	Hash        int64
+	Insert      int64
+	Probe       int64
+	Chain       int64
+	Result      int64
+	FilterBit   int64
+	SortCompare int64
+	SortMove    int64
+	Histogram   int64
+	PredEval    int64
+	AggUpdate   int64
+
+	PacketProto      int64 // per packet, each end, remote
+	PacketProtoLocal int64 // per packet, each end, short-circuited
+	PacketWire       int64 // per packet on the ring
+	ControlMsg       int64
+	PhaseStartup     int64
+
+	SeqPage    int64
+	RandPage   int64
+	FileSwitch int64
+}
+
+// NewModel precomputes nanosecond costs from params.
+func NewModel(p Params) *Model {
+	instr := func(n int64) int64 {
+		// 1 instruction = 1000/MIPS nanoseconds.
+		return int64(float64(n) * 1000.0 / p.MIPS)
+	}
+	ms := func(x float64) int64 { return int64(x * 1e6) }
+	return &Model{
+		P:           p,
+		ReadTuple:   instr(p.ReadTupleInstr),
+		WriteTuple:  instr(p.WriteTupleInstr),
+		Hash:        instr(p.HashInstr),
+		Insert:      instr(p.InsertInstr),
+		Probe:       instr(p.ProbeInstr),
+		Chain:       instr(p.ChainInstr),
+		Result:      instr(p.ResultInstr),
+		FilterBit:   instr(p.FilterBitInstr),
+		SortCompare: instr(p.SortCompareInstr),
+		SortMove:    instr(p.SortMoveInstr),
+		Histogram:   instr(p.HistogramInstr),
+		PredEval:    instr(p.PredEvalInstr),
+		AggUpdate:   instr(p.AggUpdateInstr),
+
+		PacketProto:      instr(p.PacketProtoInstr),
+		PacketProtoLocal: instr(p.PacketProtoLocalInstr),
+		PacketWire:       int64(float64(p.PacketBytes) / (p.NetMBps * 1e6) * 1e9),
+		ControlMsg:       instr(p.ControlMsgInstr),
+		PhaseStartup:     p.PhaseStartup.Nanoseconds(),
+
+		SeqPage:    ms(p.SeqPageMs),
+		RandPage:   ms(p.RandPageMs),
+		FileSwitch: ms(p.FileSwitchMs),
+	}
+}
+
+// Default returns a model with the Gamma-calibrated defaults.
+func Default() *Model { return NewModel(DefaultParams()) }
+
+// Acct accumulates resource usage for one goroutine during one operator
+// phase. It is not safe for concurrent use; each worker goroutine owns its
+// own Acct and the phase merges them when it ends.
+type Acct struct {
+	CPU  int64 // nanoseconds of processor time
+	Disk int64 // nanoseconds of disk-arm time
+	Net  int64 // nanoseconds of network-interface time
+}
+
+// AddCPU charges ns nanoseconds of CPU time.
+func (a *Acct) AddCPU(ns int64) { a.CPU += ns }
+
+// AddDisk charges ns nanoseconds of disk time.
+func (a *Acct) AddDisk(ns int64) { a.Disk += ns }
+
+// AddNet charges ns nanoseconds of network-interface time.
+func (a *Acct) AddNet(ns int64) { a.Net += ns }
+
+// Merge adds another account into a.
+func (a *Acct) Merge(b Acct) {
+	a.CPU += b.CPU
+	a.Disk += b.Disk
+	a.Net += b.Net
+}
+
+// Elapsed is the wall time this account represents assuming perfect overlap
+// of CPU, disk (read-ahead / write-behind) and network DMA: the maximum of
+// the three resource times.
+func (a Acct) Elapsed() int64 {
+	e := a.CPU
+	if a.Disk > e {
+		e = a.Disk
+	}
+	if a.Net > e {
+		e = a.Net
+	}
+	return e
+}
+
+// TuplesPerPacket reports how many fixed-size tuples fit in one network
+// packet (at least 1).
+func (m *Model) TuplesPerPacket(tupleBytes int) int {
+	n := m.P.PacketBytes / tupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TuplesPerPage reports how many fixed-size tuples fit on one disk page
+// (at least 1).
+func (m *Model) TuplesPerPage(tupleBytes int) int {
+	n := m.P.PageBytes / tupleBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SplitTablePackets reports how many network packets are needed to ship a
+// split table with the given number of entries to one operator process.
+func (m *Model) SplitTablePackets(entries int) int {
+	bytes := entries * m.P.SplitEntryBytes
+	pkts := (bytes + m.P.PacketBytes - 1) / m.P.PacketBytes
+	if pkts < 1 {
+		pkts = 1
+	}
+	return pkts
+}

@@ -1,0 +1,131 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInstrConversion(t *testing.T) {
+	p := DefaultParams()
+	p.MIPS = 1.0 // 1 instruction == 1000 ns
+	p.ReadTupleInstr = 500
+	m := NewModel(p)
+	if m.ReadTuple != 500_000 {
+		t.Fatalf("ReadTuple = %d ns, want 500000", m.ReadTuple)
+	}
+}
+
+func TestPacketWire(t *testing.T) {
+	m := Default()
+	// 2048 bytes at 10 MB/s = 204.8 microseconds.
+	want := int64(204800)
+	if m.PacketWire != want {
+		t.Fatalf("PacketWire = %d, want %d", m.PacketWire, want)
+	}
+}
+
+func TestDiskCosts(t *testing.T) {
+	m := Default()
+	if m.SeqPage != 5*int64(time.Millisecond) {
+		t.Fatalf("SeqPage = %d", m.SeqPage)
+	}
+	if m.RandPage <= m.SeqPage {
+		t.Fatal("random page access must cost more than sequential")
+	}
+}
+
+func TestAcctElapsedIsMax(t *testing.T) {
+	a := Acct{CPU: 5, Disk: 9, Net: 3}
+	if a.Elapsed() != 9 {
+		t.Fatalf("Elapsed = %d, want 9", a.Elapsed())
+	}
+	a = Acct{CPU: 11, Disk: 9, Net: 3}
+	if a.Elapsed() != 11 {
+		t.Fatalf("Elapsed = %d, want 11", a.Elapsed())
+	}
+	a = Acct{Net: 42}
+	if a.Elapsed() != 42 {
+		t.Fatalf("Elapsed = %d, want 42", a.Elapsed())
+	}
+}
+
+func TestAcctMerge(t *testing.T) {
+	a := Acct{CPU: 1, Disk: 2, Net: 3}
+	a.Merge(Acct{CPU: 10, Disk: 20, Net: 30})
+	if a != (Acct{CPU: 11, Disk: 22, Net: 33}) {
+		t.Fatalf("Merge result %+v", a)
+	}
+}
+
+func TestAcctAdders(t *testing.T) {
+	var a Acct
+	a.AddCPU(7)
+	a.AddDisk(8)
+	a.AddNet(9)
+	if a != (Acct{7, 8, 9}) {
+		t.Fatalf("adders produced %+v", a)
+	}
+}
+
+func TestElapsedProperty(t *testing.T) {
+	f := func(cpu, disk, net uint32) bool {
+		a := Acct{CPU: int64(cpu), Disk: int64(disk), Net: int64(net)}
+		e := a.Elapsed()
+		return e >= a.CPU && e >= a.Disk && e >= a.Net &&
+			(e == a.CPU || e == a.Disk || e == a.Net)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuplesPerPacket(t *testing.T) {
+	m := Default()
+	if got := m.TuplesPerPacket(208); got != 9 {
+		t.Fatalf("TuplesPerPacket(208) = %d, want 9", got)
+	}
+	if got := m.TuplesPerPacket(416); got != 4 {
+		t.Fatalf("TuplesPerPacket(416) = %d, want 4", got)
+	}
+	if got := m.TuplesPerPacket(1 << 20); got != 1 {
+		t.Fatalf("huge tuples must still yield 1 per packet, got %d", got)
+	}
+}
+
+func TestTuplesPerPage(t *testing.T) {
+	m := Default()
+	if got := m.TuplesPerPage(208); got != 39 {
+		t.Fatalf("TuplesPerPage(208) = %d, want 39", got)
+	}
+}
+
+func TestSplitTablePackets(t *testing.T) {
+	m := Default()
+	// 8 disks x 6 buckets = 48 entries x 40 B = 1920 B -> 1 packet.
+	if got := m.SplitTablePackets(48); got != 1 {
+		t.Fatalf("48 entries -> %d packets, want 1", got)
+	}
+	// 8 disks x 7 buckets = 56 entries x 40 B = 2240 B -> 2 packets.
+	// This is the "split table exceeds the network packet size" upturn.
+	if got := m.SplitTablePackets(56); got != 2 {
+		t.Fatalf("56 entries -> %d packets, want 2", got)
+	}
+	if got := m.SplitTablePackets(0); got != 1 {
+		t.Fatalf("0 entries -> %d packets, want 1", got)
+	}
+}
+
+func TestSplitTablePacketsMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a%500), int(b%500)
+		if x > y {
+			x, y = y, x
+		}
+		return m.SplitTablePackets(x) <= m.SplitTablePackets(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package disk simulates the per-site disk drives of the Gamma machine at
+// page granularity. A Disk does not store data (files live in memory in
+// internal/wiss); it charges time for page transfers and tracks counters.
+//
+// The model distinguishes sequential transfers (read-ahead scans, streaming
+// writes) from random accesses, and charges a short-seek penalty whenever
+// consecutive accesses on one arm touch different files — which is what makes
+// forming many bucket files on one disk slightly more expensive than writing
+// one stream.
+package disk
+
+import (
+	"sync/atomic"
+
+	"gammajoin/internal/cost"
+)
+
+// Disk is one simulated disk drive.
+type Disk struct {
+	id    int
+	model *cost.Model
+
+	pagesRead    atomic.Int64
+	pagesWritten atomic.Int64
+	switches     atomic.Int64
+	lastFile     atomic.Int64
+}
+
+// New returns a disk with the given id using cost model m.
+func New(id int, m *cost.Model) *Disk {
+	d := &Disk{id: id, model: m}
+	d.lastFile.Store(-1)
+	return d
+}
+
+// ID returns the disk id (its site index).
+func (d *Disk) ID() int { return d.id }
+
+// switchPenalty charges a short seek if this access targets a different file
+// than the previous access on this arm.
+func (d *Disk) switchPenalty(a *cost.Acct, fileID int64) {
+	if d.lastFile.Swap(fileID) != fileID {
+		d.switches.Add(1)
+		a.AddDisk(d.model.FileSwitch)
+	}
+}
+
+// ReadSeq charges one sequential page read on behalf of the accounting
+// context a. fileID identifies the file for arm-movement accounting.
+func (d *Disk) ReadSeq(a *cost.Acct, fileID int64) {
+	d.switchPenalty(a, fileID)
+	d.pagesRead.Add(1)
+	a.AddDisk(d.model.SeqPage)
+}
+
+// ReadRand charges one random page read.
+func (d *Disk) ReadRand(a *cost.Acct, fileID int64) {
+	d.lastFile.Store(fileID)
+	d.pagesRead.Add(1)
+	a.AddDisk(d.model.RandPage)
+}
+
+// WritePage charges one streaming page write.
+func (d *Disk) WritePage(a *cost.Acct, fileID int64) {
+	d.switchPenalty(a, fileID)
+	d.pagesWritten.Add(1)
+	a.AddDisk(d.model.SeqPage)
+}
+
+// Counters is a snapshot of a disk's activity.
+type Counters struct {
+	PagesRead    int64
+	PagesWritten int64
+	FileSwitches int64
+}
+
+// Counters returns a snapshot of the disk's counters.
+func (d *Disk) Counters() Counters {
+	return Counters{
+		PagesRead:    d.pagesRead.Load(),
+		PagesWritten: d.pagesWritten.Load(),
+		FileSwitches: d.switches.Load(),
+	}
+}
+
+// Sub returns c - o, used to diff snapshots around a query.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		PagesRead:    c.PagesRead - o.PagesRead,
+		PagesWritten: c.PagesWritten - o.PagesWritten,
+		FileSwitches: c.FileSwitches - o.FileSwitches,
+	}
+}
+
+// Add returns c + o.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		PagesRead:    c.PagesRead + o.PagesRead,
+		PagesWritten: c.PagesWritten + o.PagesWritten,
+		FileSwitches: c.FileSwitches + o.FileSwitches,
+	}
+}

@@ -1,0 +1,72 @@
+package disk
+
+import (
+	"testing"
+
+	"gammajoin/internal/cost"
+)
+
+func TestSequentialRead(t *testing.T) {
+	m := cost.Default()
+	d := New(0, m)
+	var a cost.Acct
+	for i := 0; i < 10; i++ {
+		d.ReadSeq(&a, 1)
+	}
+	// One file switch (from -1 to file 1), then 10 sequential pages.
+	want := m.FileSwitch + 10*m.SeqPage
+	if a.Disk != want {
+		t.Fatalf("Disk time = %d, want %d", a.Disk, want)
+	}
+	c := d.Counters()
+	if c.PagesRead != 10 || c.PagesWritten != 0 || c.FileSwitches != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestFileSwitchPenalty(t *testing.T) {
+	m := cost.Default()
+	d := New(0, m)
+	var a cost.Acct
+	d.WritePage(&a, 1)
+	d.WritePage(&a, 2)
+	d.WritePage(&a, 1)
+	d.WritePage(&a, 1) // no switch
+	c := d.Counters()
+	if c.FileSwitches != 3 {
+		t.Fatalf("FileSwitches = %d, want 3", c.FileSwitches)
+	}
+	want := 3*m.FileSwitch + 4*m.SeqPage
+	if a.Disk != want {
+		t.Fatalf("Disk time = %d, want %d", a.Disk, want)
+	}
+}
+
+func TestRandomReadCostsMore(t *testing.T) {
+	m := cost.Default()
+	d := New(0, m)
+	var seq, rnd cost.Acct
+	d.ReadSeq(&seq, 5)
+	d2 := New(1, m)
+	d2.ReadRand(&rnd, 5)
+	if rnd.Disk <= seq.Disk-m.FileSwitch {
+		t.Fatalf("random (%d) should cost more than sequential (%d)", rnd.Disk, seq.Disk)
+	}
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := Counters{10, 20, 3}
+	b := Counters{4, 5, 1}
+	if got := a.Sub(b); got != (Counters{6, 15, 2}) {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if got := a.Add(b); got != (Counters{14, 25, 4}) {
+		t.Fatalf("Add = %+v", got)
+	}
+}
+
+func TestID(t *testing.T) {
+	if New(7, cost.Default()).ID() != 7 {
+		t.Fatal("ID mismatch")
+	}
+}

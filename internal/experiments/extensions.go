@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/mva"
+	"gammajoin/internal/tuple"
+)
+
+// Extension experiments: measurements the paper proposes as future work or
+// asserts in prose, plus ablations of our design choices. They are not
+// reproductions of numbered figures, but they use the same workloads.
+
+// ExtFormingFilters quantifies the paper's prediction that "applying
+// filtering techniques to the bucket-forming phases of the Grace and Hybrid
+// join algorithms would also improve performance".
+func (h *Harness) ExtFormingFilters() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: forming filters",
+		Title: "bit filters during bucket forming (HPJA, local; paper future work)",
+		Header: []string{"algorithm", "mem/|R|", "join filters only", "+ forming filters",
+			"improvement", "disk pages saved"},
+	}
+	for _, alg := range []core.Algorithm{core.Grace, core.Hybrid} {
+		for _, ratio := range []float64{0.5, 0.25, 0.125} {
+			base, err := h.Run(RunKey{Alg: alg, HPJA: true, Ratio: ratio, Filter: true})
+			if err != nil {
+				return nil, err
+			}
+			ext, err := h.Run(RunKey{Alg: alg, HPJA: true, Ratio: ratio, Filter: true, FilterForming: true})
+			if err != nil {
+				return nil, err
+			}
+			b, e := base.Response.Seconds(), ext.Response.Seconds()
+			res.Rows = append(res.Rows, []string{
+				alg.String(), fmt.Sprintf("%.3f", ratio),
+				fmt.Sprintf("%.2f", b), fmt.Sprintf("%.2f", e),
+				fmt.Sprintf("%.1f%%", 100*(b-e)/b),
+				fmt.Sprint(base.Disk.PagesWritten - ext.Disk.PagesWritten),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"forming filters eliminate outer tuples before they are written to bucket files")
+	return res, nil
+}
+
+// ExtBucketTuning measures KITS83 bucket tuning for Grace on the skewed
+// inner relation, against the paper's extra-bucket workaround.
+func (h *Harness) ExtBucketTuning() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: Grace bucket tuning",
+		Title: "bucket tuning [KITS83] vs the paper's extra bucket, NU workload",
+		Header: []string{"strategy", "mem", "seconds", "buckets formed",
+			"overflow clears"},
+	}
+	type variant struct {
+		name string
+		key  RunKey
+	}
+	for _, ratio := range []float64{1.0, 0.17} {
+		variants := []variant{
+			{"optimizer buckets", RunKey{Alg: core.Grace, Skew: "NU", Ratio: ratio}},
+			{"one extra bucket (paper)", table3Key(core.Grace, "NU", ratio, false)},
+			{"bucket tuning", RunKey{Alg: core.Grace, Skew: "NU", Ratio: ratio, BucketTuning: true}},
+		}
+		for _, v := range variants {
+			rep, err := h.Run(v.key)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				v.name, fmt.Sprintf("%.0f%%", ratio*100),
+				fmt.Sprintf("%.2f", rep.Response.Seconds()),
+				fmt.Sprint(rep.Buckets),
+				fmt.Sprint(rep.OverflowClears),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"tuning forms ~3x more buckets and first-fit packs them into memory-sized join groups")
+	return res, nil
+}
+
+// ExtMixedConfig checks DeWitt88's observation the paper cites: a join on a
+// mix of processors with and without disks lands about halfway between the
+// local and remote configurations.
+func (h *Harness) ExtMixedConfig() (*Result, error) {
+	res := &Result{
+		ID:     "Extension: mixed configuration",
+		Title:  "joins on 4 disk + 4 diskless processors vs local and remote (non-HPJA hybrid)",
+		XName:  "mem/|R|",
+		Series: nil,
+	}
+	local := Series{Label: "local (8 disk sites)"}
+	mixed := Series{Label: "mixed (4 disk + 4 diskless)"}
+	remote := Series{Label: "remote (8 diskless)"}
+	for _, ratio := range MemRatios {
+		l, err := h.Seconds(RunKey{Alg: core.Hybrid, Ratio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		m, err := h.Seconds(RunKey{Alg: core.Hybrid, Remote: true, Mixed: true, Ratio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.Seconds(RunKey{Alg: core.Hybrid, Remote: true, Ratio: ratio})
+		if err != nil {
+			return nil, err
+		}
+		local.Points = append(local.Points, Point{X: ratio, Y: l})
+		mixed.Points = append(mixed.Points, Point{X: ratio, Y: m})
+		remote.Points = append(remote.Points, Point{X: ratio, Y: r})
+	}
+	res.Series = []Series{local, mixed, remote}
+	res.Notes = append(res.Notes,
+		"DEWI88: mixed performance lands 'almost always 1/2 way' between local and remote;",
+		"here that holds once memory is limited — at full memory the scan sites that also",
+		"host join processes stay the bottleneck, so mixed tracks the local curve")
+	return res, nil
+}
+
+// ExtUtilization reproduces the paper's Section 5 utilization numbers
+// ("when Gamma processes joins locally, the processors are at 100% CPU
+// utilization... the remote configuration drops utilization at the
+// processors with disks to approximately 60%") and derives the multiuser
+// throughput bound that motivates remote joins.
+func (h *Harness) ExtUtilization() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: CPU utilization & throughput bound",
+		Title: "disk-site CPU utilization and multiuser throughput upper bound (hybrid, non-HPJA)",
+		Header: []string{"config", "mem/|R|", "disk-site CPU util", "diskless CPU util",
+			"bottleneck busy (s)", "max queries/min"},
+	}
+	for _, remote := range []bool{false, true} {
+		name := "local"
+		if remote {
+			name = "remote"
+		}
+		for _, ratio := range []float64{1.0, 0.25} {
+			rep, err := h.Run(RunKey{Alg: core.Hybrid, Remote: remote, Ratio: ratio})
+			if err != nil {
+				return nil, err
+			}
+			diskless := "-"
+			if remote {
+				diskless = fmt.Sprintf("%.0f%%", 100*rep.UtilDiskless)
+			}
+			res.Rows = append(res.Rows, []string{
+				name, fmt.Sprintf("%.2f", ratio),
+				fmt.Sprintf("%.0f%%", 100*rep.UtilDisk),
+				diskless,
+				fmt.Sprintf("%.1f", rep.BottleneckBusy.Seconds()),
+				fmt.Sprintf("%.1f", 60/rep.BottleneckBusy.Seconds()),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"throughput bound = 1 / busiest site's resource demand per query (closed-system upper bound)")
+	return res, nil
+}
+
+// ExtJoinAselB verifies the paper's remark that the other benchmark join
+// queries show the same trends: joinAselB scans a full-size inner relation
+// with a 10% selection pushed into the scan.
+func (h *Harness) ExtJoinAselB() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: joinAselB",
+		Title: "joinAselB (10% selection on a full-size inner), HPJA, local — same trends as Figure 5",
+		XName: "mem/|Rsel|",
+	}
+	for _, alg := range allAlgs {
+		s := Series{Label: alg.String()}
+		for _, ratio := range MemRatios {
+			secs, err := h.Seconds(RunKey{Alg: alg, HPJA: true, Ratio: ratio, AselB: true})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: ratio, Y: secs})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"paper: 'we ran the experiments with the other benchmark join queries ... the trends were the same'")
+	return res, nil
+}
+
+// ExtSpeedup measures speedup (fixed problem, 1..8 disk sites) and scaleup
+// (problem grows with the sites) for the Hybrid join — the companion
+// measurements DEWI88 reports for Gamma and the reason shared-nothing
+// designs won: near-linear scaling.
+func (h *Harness) ExtSpeedup() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: speedup & scaleup",
+		Title: "Hybrid joinABprime across machine sizes (HPJA, memory ratio 0.5)",
+		Header: []string{"disk sites", "speedup time (s)", "speedup vs 1 site",
+			"scaleup time (s)", "scaleup efficiency"},
+	}
+	base := h.cfg
+	var t1, s1 float64
+	for _, d := range []int{1, 2, 4, 8} {
+		// Speedup: constant problem size.
+		cfg := base
+		cfg.Disks = d
+		cfg.Remote = 0
+		hs := NewHarness(cfg)
+		sp, err := hs.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		// Scaleup: problem grows with the machine.
+		cfg.OuterN = base.OuterN / 8 * d
+		cfg.InnerN = base.InnerN / 8 * d
+		hc := NewHarness(cfg)
+		sc, err := hc.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		if d == 1 {
+			t1, s1 = sp, sc
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(d),
+			fmt.Sprintf("%.2f", sp),
+			fmt.Sprintf("%.2fx", t1/sp),
+			fmt.Sprintf("%.2f", sc),
+			fmt.Sprintf("%.0f%%", 100*s1/sc),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"speedup: 100k x 10k joinABprime on 1..8 sites; scaleup: 12.5k x 1.25k tuples per site",
+		"per-phase scheduling overhead and result storing bound both below perfectly linear")
+	return res, nil
+}
+
+// ExtGrowingRelations validates the paper's footnote 1: the memory-ratio
+// sweep "can also be viewed as predicting the relative performance of the
+// various algorithms when the size of memory is constant and the algorithms
+// are required to process relations larger than the size of available
+// memory". Here memory is held fixed while the relations grow; plotted
+// against mem/|R| the algorithms keep their Figure 5 ordering.
+func (h *Harness) ExtGrowingRelations() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: constant memory, growing relations",
+		Title: "fixed join memory, inner relation grows 1x..6x (HPJA, local; footnote 1)",
+		XName: "mem/|R|",
+	}
+	base := h.cfg
+	memBytes := int64(base.InnerN) * tuple.Bytes // fits the 1x inner exactly
+	for _, alg := range allAlgs {
+		s := Series{Label: alg.String()}
+		for _, factor := range []int{1, 2, 3, 4, 6} {
+			cfg := base
+			cfg.InnerN = base.InnerN * factor
+			cfg.OuterN = base.OuterN * factor
+			hg := NewHarness(cfg)
+			rels, err := hg.relations(RunKey{HPJA: true})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.Run(hg.cluster(false), core.Spec{
+				Alg: alg, R: rels.r, S: rels.s,
+				RAttr: rels.rAttr, SAttr: rels.sAttr,
+				MemBytes: memBytes, StoreResult: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Normalize per unit of data so the growing problem size does
+			// not swamp the algorithmic effect, exactly as reading Figure
+			// 5 right-to-left does.
+			s.Points = append(s.Points, Point{
+				X: 1 / float64(factor),
+				Y: rep.Response.Seconds() / float64(factor),
+			})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"y = seconds per 1x of data; compare the orderings with Figure 5 at the same mem/|R|")
+	return res, nil
+}
+
+// demandCenters converts a single-query report into per-(site, resource)
+// service demands in seconds for the MVA model: each site contributes a CPU
+// center, a disk center, and a network-interface center.
+func demandCenters(rep *core.Report) []float64 {
+	type acc struct{ cpu, dsk, net int64 }
+	sites := map[int]*acc{}
+	for _, p := range rep.Phases {
+		for site, a := range p.PerSite {
+			s := sites[site]
+			if s == nil {
+				s = &acc{}
+				sites[site] = s
+			}
+			s.cpu += a.CPU
+			s.dsk += a.Disk
+			s.net += a.Net
+		}
+	}
+	var out []float64
+	add := func(ns int64) {
+		if ns > 0 {
+			out = append(out, float64(ns)/1e9)
+		}
+	}
+	for _, s := range sites {
+		add(s.cpu)
+		add(s.dsk)
+		add(s.net)
+	}
+	return out
+}
+
+// ExtMultiuser is the paper's stated future work ("We intend on studying
+// the multiuser tradeoffs in the near future"), answered with the era's
+// standard tool: exact Mean-Value Analysis of a closed queueing network
+// whose service demands are the measured per-site resource times of one
+// query. It tests the Section 5 hypothesis that remote join processing
+// "may permit higher throughput by reducing the load at the processors
+// with disks".
+func (h *Harness) ExtMultiuser() (*Result, error) {
+	res := &Result{
+		ID:    "Extension: multiuser throughput (MVA)",
+		Title: "closed-network MVA over measured per-site demands (hybrid, non-HPJA, mem 1.0)",
+		Header: []string{"clients", "local q/min", "local bottleneck util",
+			"remote q/min", "remote bottleneck util"},
+	}
+	var curves [2][]mva.Result
+	var bounds [2]float64
+	for i, remote := range []bool{false, true} {
+		rep, err := h.Run(RunKey{Alg: core.Hybrid, Remote: remote, Ratio: 1.0})
+		if err != nil {
+			return nil, err
+		}
+		demands := demandCenters(rep)
+		curves[i], err = mva.Solve(demands, 16)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i], _ = mva.Asymptote(demands)
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		l, r := curves[0][n-1], curves[1][n-1]
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.2f", l.Throughput*60),
+			fmt.Sprintf("%.0f%%", 100*l.BottleneckUtil),
+			fmt.Sprintf("%.2f", r.Throughput*60),
+			fmt.Sprintf("%.0f%%", 100*r.BottleneckUtil),
+		})
+	}
+	res.Rows = append(res.Rows, []string{"max", fmt.Sprintf("%.2f", bounds[0]*60), "100%",
+		fmt.Sprintf("%.2f", bounds[1]*60), "100%"})
+	res.Notes = append(res.Notes,
+		"MVA treats a query as a visit chain, so single-query latency is not meaningful here;",
+		"the throughput asymptote 1/Dmax is — the remote configuration's smaller per-site",
+		"bottleneck sustains more queries/minute, the paper's Section 5 hypothesis")
+	return res, nil
+}

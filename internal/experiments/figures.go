@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gammajoin/internal/core"
+)
+
+var hashAlgs = []core.Algorithm{core.Simple, core.Grace, core.Hybrid}
+var allAlgs = []core.Algorithm{core.SortMerge, core.Simple, core.Grace, core.Hybrid}
+
+// sweep runs one algorithm across the standard memory ratios.
+func (h *Harness) sweep(base RunKey) (Series, error) {
+	s := Series{Label: seriesLabel(base)}
+	for _, ratio := range MemRatios {
+		k := base
+		k.Ratio = ratio
+		secs, err := h.Seconds(k)
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, Point{X: ratio, Y: secs})
+	}
+	return s, nil
+}
+
+func seriesLabel(k RunKey) string {
+	l := k.Alg.String()
+	if k.Remote {
+		l += " remote"
+	}
+	if k.Skew != "" {
+		l += " " + k.Skew
+	}
+	return l
+}
+
+// memSweepFigure builds the common figure shape: all four algorithms
+// against memory availability in one configuration.
+func (h *Harness) memSweepFigure(id, title string, hpja, filter bool) (*Result, error) {
+	res := &Result{ID: id, Title: title, XName: "mem/|R|"}
+	for _, alg := range allAlgs {
+		s, err := h.sweep(RunKey{Alg: alg, HPJA: hpja, Filter: filter})
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Figure5 — response time vs memory availability when the join attributes
+// are the partitioning attributes (HPJA), local configuration, no filters.
+func (h *Harness) Figure5() (*Result, error) {
+	return h.memSweepFigure("Figure 5",
+		"joinABprime, partitioning attrs used as join attrs (HPJA), local, no bit filters",
+		true, false)
+}
+
+// Figure6 — as Figure 5 but with the relations partitioned on a different
+// attribute (non-HPJA).
+func (h *Harness) Figure6() (*Result, error) {
+	return h.memSweepFigure("Figure 6",
+		"joinABprime, partitioning attrs NOT join attrs (non-HPJA), local, no bit filters",
+		false, false)
+}
+
+// Figure7 — Hybrid between the integral bucket counts (memory ratios 0.5 to
+// 1.0): the optimal interpolation, the pessimistic 2-bucket choice, and the
+// optimistic 1-bucket run resolved by the Simple-hash overflow mechanism.
+func (h *Harness) Figure7() (*Result, error) {
+	res := &Result{
+		ID:    "Figure 7",
+		Title: "Hybrid at intermediate memory ratios (HPJA, local): overflow vs extra bucket",
+		XName: "mem/|R|",
+	}
+	ratios := []float64{0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.0}
+
+	// Optimal achievable performance: the line between the true one- and
+	// two-bucket points, where memory is fully used with no wasted I/O.
+	lo, err := h.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	hi, err := h.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 1.0})
+	if err != nil {
+		return nil, err
+	}
+	opt := Series{Label: "optimal (interpolated)"}
+	for _, r := range ratios {
+		opt.Points = append(opt.Points, Point{X: r, Y: lo + (hi-lo)*(r-0.5)/0.5})
+	}
+	res.Series = append(res.Series, opt)
+
+	pess := Series{Label: "2 buckets (pessimistic)"}
+	overf := Series{Label: "1 bucket + overflow (optimistic)"}
+	for _, r := range ratios {
+		y, err := h.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: r, ForceBuckets: 2})
+		if err != nil {
+			return nil, err
+		}
+		pess.Points = append(pess.Points, Point{X: r, Y: y})
+		y, err = h.Seconds(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: r, AllowOverflow: true})
+		if err != nil {
+			return nil, err
+		}
+		overf.Points = append(overf.Points, Point{X: r, Y: y})
+	}
+	res.Series = append(res.Series, pess, overf)
+	res.Notes = append(res.Notes,
+		"optimistic = 1 bucket, Simple-hash overflow resolution (10% clearing heuristic)")
+	return res, nil
+}
+
+// Figure8 — Figure 5 with bit-vector filtering.
+func (h *Harness) Figure8() (*Result, error) {
+	return h.memSweepFigure("Figure 8",
+		"HPJA joins with bit filters, local configuration", true, true)
+}
+
+// Figure9 — Figure 6 with bit-vector filtering.
+func (h *Harness) Figure9() (*Result, error) {
+	return h.memSweepFigure("Figure 9",
+		"non-HPJA joins with bit filters, local configuration", false, true)
+}
+
+// Figures10to13 — per-algorithm overlays of the no-filter and filter curves
+// (HPJA, local), one result per algorithm.
+func (h *Harness) Figures10to13() ([]*Result, error) {
+	ids := map[core.Algorithm]string{
+		core.Hybrid:    "Figure 10",
+		core.Simple:    "Figure 11",
+		core.Grace:     "Figure 12",
+		core.SortMerge: "Figure 13",
+	}
+	order := []core.Algorithm{core.Hybrid, core.Simple, core.Grace, core.SortMerge}
+	var out []*Result
+	for _, alg := range order {
+		res := &Result{
+			ID:    ids[alg],
+			Title: fmt.Sprintf("effect of bit filtering on %v (HPJA, local)", alg),
+			XName: "mem/|R|",
+		}
+		plain, err := h.sweep(RunKey{Alg: alg, HPJA: true})
+		if err != nil {
+			return nil, err
+		}
+		plain.Label = "no filter"
+		filt, err := h.sweep(RunKey{Alg: alg, HPJA: true, Filter: true})
+		if err != nil {
+			return nil, err
+		}
+		filt.Label = "with bit filter"
+		res.Series = append(res.Series, plain, filt)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure14 — remote configuration (diskless join processors): HPJA vs
+// non-HPJA for the three hash algorithms.
+func (h *Harness) Figure14() (*Result, error) {
+	res := &Result{
+		ID:    "Figure 14",
+		Title: "remote joins (8 diskless join processors): HPJA vs non-HPJA",
+		XName: "mem/|R|",
+	}
+	for _, alg := range hashAlgs {
+		for _, hpja := range []bool{true, false} {
+			s, err := h.sweep(RunKey{Alg: alg, Remote: true, HPJA: hpja})
+			if err != nil {
+				return nil, err
+			}
+			if hpja {
+				s.Label = alg.String() + " HPJA"
+			} else {
+				s.Label = alg.String() + " non-HPJA"
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// Figure15 — local vs remote join processing for HPJA joins.
+func (h *Harness) Figure15() (*Result, error) {
+	return h.localRemoteFigure("Figure 15", "local vs remote join processing, HPJA joins", true)
+}
+
+// Figure16 — local vs remote join processing for non-HPJA joins (the
+// Hybrid crossover figure).
+func (h *Harness) Figure16() (*Result, error) {
+	return h.localRemoteFigure("Figure 16", "local vs remote join processing, non-HPJA joins", false)
+}
+
+func (h *Harness) localRemoteFigure(id, title string, hpja bool) (*Result, error) {
+	res := &Result{ID: id, Title: title, XName: "mem/|R|"}
+	for _, alg := range hashAlgs {
+		for _, remote := range []bool{false, true} {
+			s, err := h.sweep(RunKey{Alg: alg, Remote: remote, HPJA: hpja})
+			if err != nil {
+				return nil, err
+			}
+			if remote {
+				s.Label = alg.String() + " remote"
+			} else {
+				s.Label = alg.String() + " local"
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one measured data point.
+type Point struct {
+	X float64 // memory ratio (or other x value)
+	Y float64 // response time in seconds (NaN = not measured)
+}
+
+// Result is a formatted experiment outcome: either a figure (X + series) or
+// a free-form table (pre-computed rows).
+type Result struct {
+	ID    string
+	Title string
+	XName string
+
+	Series []Series // figure-style results
+
+	Header []string   // table-style results
+	Rows   [][]string // table-style results
+
+	Notes []string
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+
+	var header []string
+	var rows [][]string
+	switch {
+	case len(r.Series) > 0:
+		header = append(header, r.XName)
+		for _, s := range r.Series {
+			header = append(header, s.Label)
+		}
+		// All series share the x values of the longest series.
+		var xs []float64
+		for _, s := range r.Series {
+			if len(s.Points) > len(xs) {
+				xs = xs[:0]
+				for _, p := range s.Points {
+					xs = append(xs, p.X)
+				}
+			}
+		}
+		for _, x := range xs {
+			row := []string{fmt.Sprintf("%.3f", x)}
+			for _, s := range r.Series {
+				cell := ""
+				for _, p := range s.Points {
+					if p.X == x {
+						cell = fmt.Sprintf("%.2f", p.Y)
+						break
+					}
+				}
+				row = append(row, cell)
+			}
+			rows = append(rows, row)
+		}
+	default:
+		header = r.Header
+		rows = r.Rows
+	}
+
+	widths := make([]int, len(header))
+	for i, hcol := range header {
+		widths[i] = len(hcol)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

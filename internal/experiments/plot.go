@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotGlyphs mark the series of a figure in rendering order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders a figure-style result as an ASCII chart (markers only, y
+// starting at zero so relative magnitudes stay honest). Table-style results
+// return the empty string.
+func (r *Result) Plot(width, height int) string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.X < xmin {
+				xmin = p.X
+			}
+			if p.X > xmax {
+				xmax = p.X
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if !(xmax > xmin) || ymax <= 0 {
+		return ""
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round(p.Y/ymax*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			canvas[row][col] = glyph
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	for i, line := range canvas {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%7.1f ", ymax/2)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(line)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteString("\n")
+	left := fmt.Sprintf("%.3f", xmin)
+	right := fmt.Sprintf("%.3f", xmax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "         %s%s%s  (%s)\n", left, strings.Repeat(" ", pad), right, r.XName)
+	for si, s := range r.Series {
+		fmt.Fprintf(&sb, "  %c = %s\n", plotGlyphs[si%len(plotGlyphs)], s.Label)
+	}
+	return sb.String()
+}

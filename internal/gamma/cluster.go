@@ -1,0 +1,115 @@
+// Package gamma models the Gamma database machine substrate: a
+// shared-nothing cluster of processor sites (with or without attached
+// disks), phase-structured query execution with per-site time accounting,
+// the relation catalog with Gamma's declustering strategies, and the
+// histogram-driven hash-table overflow machinery shared by the hash-join
+// algorithms.
+package gamma
+
+import (
+	"fmt"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
+	"gammajoin/internal/netsim"
+)
+
+// Site is one processor of the machine. Sites with an attached disk store
+// relation fragments and execute selections; diskless sites can execute
+// joins (the paper's "remote" configuration).
+type Site struct {
+	ID   int
+	Disk *disk.Disk // nil for diskless processors
+}
+
+// HasDisk reports whether the site has an attached disk.
+func (s *Site) HasDisk() bool { return s.Disk != nil }
+
+// Cluster is a Gamma machine configuration.
+type Cluster struct {
+	Model *cost.Model
+	Net   *netsim.Network
+	Sites []*Site
+
+	diskSites     []int
+	disklessSites []int
+}
+
+// NewLocal builds the paper's "local" configuration: numDisks processors
+// with attached disks (joins run on these same sites).
+func NewLocal(numDisks int, m *cost.Model) *Cluster {
+	return newCluster(numDisks, 0, m)
+}
+
+// NewRemote builds the paper's "remote" configuration: numDisks processors
+// with disks for storage plus numDiskless diskless processors that perform
+// the join computation.
+func NewRemote(numDisks, numDiskless int, m *cost.Model) *Cluster {
+	return newCluster(numDisks, numDiskless, m)
+}
+
+func newCluster(numDisks, numDiskless int, m *cost.Model) *Cluster {
+	if m == nil {
+		m = cost.Default()
+	}
+	c := &Cluster{Model: m, Net: netsim.New(m)}
+	for i := 0; i < numDisks; i++ {
+		c.Sites = append(c.Sites, &Site{ID: i, Disk: disk.New(i, m)})
+		c.diskSites = append(c.diskSites, i)
+	}
+	for i := 0; i < numDiskless; i++ {
+		id := numDisks + i
+		c.Sites = append(c.Sites, &Site{ID: id})
+		c.disklessSites = append(c.disklessSites, id)
+	}
+	return c
+}
+
+// DiskSites returns the ids of sites with attached disks, in order.
+func (c *Cluster) DiskSites() []int { return c.diskSites }
+
+// DisklessSites returns the ids of diskless sites, in order.
+func (c *Cluster) DisklessSites() []int { return c.disklessSites }
+
+// JoinSites returns the default join processors: diskless sites when
+// present (remote configuration), otherwise the disk sites (local).
+func (c *Cluster) JoinSites() []int {
+	if len(c.disklessSites) > 0 {
+		return c.disklessSites
+	}
+	return c.diskSites
+}
+
+// Disk returns the disk of a site, or an error for diskless sites.
+func (c *Cluster) Disk(site int) (*disk.Disk, error) {
+	if site < 0 || site >= len(c.Sites) {
+		return nil, fmt.Errorf("gamma: no site %d", site)
+	}
+	d := c.Sites[site].Disk
+	if d == nil {
+		return nil, fmt.Errorf("gamma: site %d is diskless", site)
+	}
+	return d, nil
+}
+
+// DiskCounters sums the counters of every disk in the cluster.
+func (c *Cluster) DiskCounters() disk.Counters {
+	var total disk.Counters
+	for _, s := range c.Sites {
+		if s.Disk != nil {
+			total = total.Add(s.Disk.Counters())
+		}
+	}
+	return total
+}
+
+// OverflowDiskSite assigns a home disk site for the overflow files of a
+// joining site: the site's own disk when it has one, otherwise a disk site
+// chosen round-robin by join-site index ("different overflow files are
+// assigned to different disks").
+func (c *Cluster) OverflowDiskSite(joinSite int) int {
+	if c.Sites[joinSite].HasDisk() {
+		return joinSite
+	}
+	return c.diskSites[joinSite%len(c.diskSites)]
+}

@@ -1,0 +1,217 @@
+package gamma
+
+import (
+	"math"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/xrand"
+)
+
+// OverflowKey maps a routing hash into the full 64-bit space over which the
+// overflow histogram and cutoffs are defined. Routing hashes may be dense
+// small integers (the system hash function is the identity on benchmark
+// keys), so the histogram remixes them to spread the 256 ranges; equal join
+// values always produce equal overflow keys, which keeps the inner and outer
+// overflow partitions consistent.
+func OverflowKey(h uint64) uint64 { return xrand.Mix64(h ^ 0x5CA1AB1E0FF10AD) }
+
+// AboveCutoff reports whether a tuple with routing hash h belongs to the
+// overflow partition under the given cutoff.
+func AboveCutoff(cutoff, h uint64) bool { return OverflowKey(h) >= cutoff }
+
+// HashTable is the memory-limited in-memory join hash table used by the
+// Simple, Grace, and Hybrid algorithms, including the paper's overflow
+// machinery (Section 4.1, "Grace and Hybrid Performance over Intermediate
+// points"):
+//
+//   - a histogram over ranges of hash values is maintained as tuples are
+//     inserted;
+//   - when capacity is exceeded, a cutoff hash value is chosen from the
+//     histogram so that clearing all tuples at or above it frees about 10%
+//     of the table, and those tuples are evicted to an overflow file;
+//   - subsequently arriving tuples at or above the cutoff bypass the table
+//     entirely and are sent straight to the overflow file.
+type HashTable struct {
+	model    *cost.Model
+	capBytes int64
+	attr     int
+
+	heads   []int32
+	entries []htEntry
+	hist    [256]int32 // live tuples per top-byte hash range
+
+	cutoff    uint64 // tuples with h >= cutoff overflow; starts at max
+	overflows int    // number of clearing passes performed
+
+	probes      int64
+	chainVisits int64
+}
+
+type htEntry struct {
+	h    uint64 // routing hash (chains)
+	key  uint64 // overflow key (histogram/cutoff)
+	next int32
+	t    tuple.Tuple
+}
+
+// NewHashTable creates a table holding at most capBytes of tuples, keyed on
+// integer attribute attr.
+func NewHashTable(m *cost.Model, capBytes int64, attr int) *HashTable {
+	nb := int(capBytes / tuple.Bytes)
+	if nb < 16 {
+		nb = 16
+	}
+	return &HashTable{
+		model:    m,
+		capBytes: capBytes,
+		attr:     attr,
+		heads:    make([]int32, nb),
+		cutoff:   math.MaxUint64,
+	}
+}
+
+// slot remixes the routing hash before taking it modulo the chain count:
+// routing hashes are dense small integers, and reducing them directly would
+// alias with the split tables' mod indexing, producing pathological chain
+// lengths that depend on gcd(slots, splitEntries).
+func (ht *HashTable) slot(h uint64) int {
+	return int(xrand.Mix64(h^0x00C0FFEE) % uint64(len(ht.heads)))
+}
+
+// Cutoff returns the current overflow cutoff: tuples whose hash is >= the
+// cutoff must be routed to the overflow file instead of the table. The
+// split table shipped to outer-relation producers is augmented with these
+// per-site cutoffs (the h' functions of Section 3.2).
+func (ht *HashTable) Cutoff() uint64 { return ht.cutoff }
+
+// Overflowed reports whether any clearing pass has occurred.
+func (ht *HashTable) Overflowed() bool { return ht.overflows > 0 }
+
+// Overflows returns the number of clearing passes.
+func (ht *HashTable) Overflows() int { return ht.overflows }
+
+// Len returns the number of tuples currently in the table.
+func (ht *HashTable) Len() int { return len(ht.entries) }
+
+// BytesUsed returns the current table payload size.
+func (ht *HashTable) BytesUsed() int64 { return int64(len(ht.entries)) * tuple.Bytes }
+
+// Insert adds a tuple whose overflow key is below the cutoff (callers must
+// check AboveCutoff first). If the insert exceeds capacity, one or more
+// clearing passes run and the evicted tuples are returned for the caller to
+// write to its overflow file; the histogram, CPU costs, and cutoff are
+// maintained here.
+func (ht *HashTable) Insert(a *cost.Acct, t tuple.Tuple, h uint64) []tuple.Tuple {
+	key := OverflowKey(h)
+	if key >= ht.cutoff {
+		panic("gamma: Insert called with hash above cutoff")
+	}
+	a.AddCPU(ht.model.Insert + ht.model.Histogram)
+	s := ht.slot(h)
+	ht.entries = append(ht.entries, htEntry{h: h, key: key, next: ht.heads[s] - 1, t: t})
+	ht.heads[s] = int32(len(ht.entries))
+	ht.hist[key>>56]++
+
+	var evicted []tuple.Tuple
+	for ht.BytesUsed() > ht.capBytes {
+		ev := ht.clearTenPercent(a)
+		if len(ev) == 0 {
+			break // cannot clear further (degenerate single-range table)
+		}
+		evicted = append(evicted, ev...)
+	}
+	return evicted
+}
+
+// clearTenPercent picks a new, lower cutoff from the histogram that frees
+// about 10% of the table's capacity, evicts every entry at or above it, and
+// returns the evicted tuples.
+func (ht *HashTable) clearTenPercent(a *cost.Acct) []tuple.Tuple {
+	target := int32(ht.capBytes / tuple.Bytes / 10)
+	if target < 1 {
+		target = 1
+	}
+	// Walk histogram ranges from the top down until enough tuples are
+	// covered; the cutoff becomes the bottom of the last range included.
+	var covered int32
+	lo := 255
+	for ; lo >= 0; lo-- {
+		covered += ht.hist[lo]
+		if covered >= target {
+			break
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	newCutoff := uint64(lo) << 56
+	if newCutoff >= ht.cutoff {
+		// All remaining tuples share the lowest range; clear that whole
+		// range (cutoff cannot be lowered below range granularity).
+		if covered == 0 {
+			return nil
+		}
+	}
+	ht.cutoff = newCutoff
+	ht.overflows++
+
+	// Examine every tuple in the table and evict qualifying ones.
+	a.AddCPU(int64(len(ht.entries)) * ht.model.Chain)
+	kept := ht.entries[:0]
+	var evicted []tuple.Tuple
+	for _, e := range ht.entries {
+		if e.key >= ht.cutoff {
+			evicted = append(evicted, e.t)
+			ht.hist[e.key>>56]--
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	ht.entries = kept
+	// Rebuild chains after compaction.
+	for i := range ht.heads {
+		ht.heads[i] = 0
+	}
+	for i := range ht.entries {
+		s := ht.slot(ht.entries[i].h)
+		ht.entries[i].next = ht.heads[s] - 1
+		ht.heads[s] = int32(i + 1)
+	}
+	return evicted
+}
+
+// Probe looks up every stored tuple matching the key and calls fn for each,
+// charging the probe and per-chain-element costs.
+func (ht *HashTable) Probe(a *cost.Acct, h uint64, key int32, fn func(match *tuple.Tuple)) {
+	a.AddCPU(ht.model.Probe)
+	ht.probes++
+	for i := ht.heads[ht.slot(h)] - 1; i >= 0; i = ht.entries[i].next {
+		a.AddCPU(ht.model.Chain)
+		ht.chainVisits++
+		if ht.entries[i].t.Int(ht.attr) == key {
+			fn(&ht.entries[i].t)
+		}
+	}
+}
+
+// ChainStats returns the average and maximum hash-chain length over
+// non-empty chains (the paper reports 3.3 average / 16 max for the skewed
+// inner relation).
+func (ht *HashTable) ChainStats() (avg float64, maxLen int) {
+	lengths := make(map[int]int)
+	for i := range ht.entries {
+		lengths[ht.slot(ht.entries[i].h)]++
+	}
+	if len(lengths) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, l := range lengths {
+		total += l
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return float64(total) / float64(len(lengths)), maxLen
+}

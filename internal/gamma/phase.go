@@ -1,0 +1,164 @@
+package gamma
+
+import (
+	"sync"
+	"time"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/netsim"
+)
+
+// PhaseStat records the simulated timing of one operator phase.
+type PhaseStat struct {
+	Name string
+	// Work is the slowest site's overlapped resource time.
+	Work time.Duration
+	// Sched is the scheduling overhead: scheduler latency, control
+	// messages, and split-table delivery packets.
+	Sched time.Duration
+	// PerSite holds each participating site's merged account.
+	PerSite map[int]cost.Acct
+	// Net snapshots network activity during the phase.
+	Net netsim.Counters
+}
+
+// Elapsed is the phase's contribution to query response time.
+func (p PhaseStat) Elapsed() time.Duration { return p.Work + p.Sched }
+
+// Query accumulates the phases of one query execution. Response time is the
+// sum of phase elapsed times: Gamma's operator phases for these join
+// algorithms are barrier-synchronized (relations are partitioned serially,
+// buckets are joined consecutively).
+type Query struct {
+	C      *Cluster
+	Phases []PhaseStat
+}
+
+// NewQuery starts a query on the cluster.
+func (c *Cluster) NewQuery() *Query { return &Query{C: c} }
+
+// Response returns the accumulated response time.
+func (q *Query) Response() time.Duration {
+	var total time.Duration
+	for _, p := range q.Phases {
+		total += p.Elapsed()
+	}
+	return total
+}
+
+// Phase is one barrier-synchronized operator phase. Worker goroutines
+// register per-goroutine accounts against their site; End merges them,
+// takes the slowest site, adds scheduling overhead, and appends a PhaseStat
+// to the query.
+type Phase struct {
+	q    *Query
+	name string
+
+	mu    sync.Mutex
+	accts map[int][]*cost.Acct
+
+	netStart netsim.Counters
+}
+
+// NewPhase begins a phase.
+func (q *Query) NewPhase(name string) *Phase {
+	return &Phase{
+		q:        q,
+		name:     name,
+		accts:    make(map[int][]*cost.Acct),
+		netStart: q.C.Net.Counters(),
+	}
+}
+
+// Acct registers and returns a fresh account for one worker goroutine
+// running at the given site. Each goroutine must use its own account.
+func (p *Phase) Acct(site int) *cost.Acct {
+	a := &cost.Acct{}
+	p.mu.Lock()
+	p.accts[site] = append(p.accts[site], a)
+	p.mu.Unlock()
+	return a
+}
+
+// EndOpts describes the scheduling work of a phase.
+type EndOpts struct {
+	// SplitEntries is the size of the split table shipped to each
+	// producing process (0 if none). Tables larger than one network
+	// packet are sent in pieces — the paper's low-memory upturn.
+	SplitEntries int
+	// Producers is the number of processes that receive the split table.
+	Producers int
+	// ExtraSched adds algorithm-specific scheduling time.
+	ExtraSched time.Duration
+}
+
+// End closes the phase: all worker goroutines must have finished. It
+// returns the phase's elapsed simulated time.
+func (p *Phase) End(opts EndOpts) time.Duration {
+	m := p.q.C.Model
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	perSite := make(map[int]cost.Acct, len(p.accts))
+	var work int64
+	for site, list := range p.accts {
+		var merged cost.Acct
+		for _, a := range list {
+			merged.Merge(*a)
+		}
+		perSite[site] = merged
+		if e := merged.Elapsed(); e > work {
+			work = e
+		}
+	}
+
+	// Scheduling: fixed scheduler latency, three control messages per
+	// participating process (initiate, ready, done), and split-table
+	// delivery packets to each producer, all serialized at the scheduler.
+	sched := m.PhaseStartup + int64(len(p.accts))*3*m.ControlMsg
+	if opts.SplitEntries > 0 && opts.Producers > 0 {
+		pkts := m.SplitTablePackets(opts.SplitEntries)
+		sched += int64(pkts*opts.Producers) * (m.PacketProto + m.PacketWire)
+	}
+	sched += opts.ExtraSched.Nanoseconds()
+
+	stat := PhaseStat{
+		Name:    p.name,
+		Work:    time.Duration(work),
+		Sched:   time.Duration(sched),
+		PerSite: perSite,
+		Net:     p.q.C.Net.Counters().Sub(p.netStart),
+	}
+	p.q.Phases = append(p.q.Phases, stat)
+	return stat.Elapsed()
+}
+
+// Exchange is the per-phase communication fabric: one buffered channel of
+// packets per site. Producers deliver through it (via netsim.Sender);
+// consumers range over their site's channel until the coordinator closes
+// the exchange.
+type Exchange struct {
+	chans []chan *netsim.Batch
+}
+
+// NewExchange creates channels for every site in the cluster.
+func (c *Cluster) NewExchange() *Exchange {
+	e := &Exchange{chans: make([]chan *netsim.Batch, len(c.Sites))}
+	for i := range e.chans {
+		e.chans[i] = make(chan *netsim.Batch, 256)
+	}
+	return e
+}
+
+// Deliver enqueues a packet for its destination site.
+func (e *Exchange) Deliver(dst int, b *netsim.Batch) { e.chans[dst] <- b }
+
+// Chan returns the receive side for a site.
+func (e *Exchange) Chan(site int) <-chan *netsim.Batch { return e.chans[site] }
+
+// Close signals end-of-stream to every consumer.
+func (e *Exchange) Close() {
+	for _, ch := range e.chans {
+		close(ch)
+	}
+}

@@ -1,0 +1,119 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleCenter(t *testing.T) {
+	// One center of demand D: throughput saturates at 1/D immediately,
+	// response grows linearly (n*D).
+	res, err := Solve([]float64{2.0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if math.Abs(r.Throughput-0.5) > 1e-12 {
+			t.Fatalf("n=%d throughput %v, want 0.5", r.Clients, r.Throughput)
+		}
+		if math.Abs(r.Response-float64(r.Clients)*2) > 1e-12 {
+			t.Fatalf("n=%d response %v, want %v", r.Clients, r.Response, float64(r.Clients)*2)
+		}
+	}
+}
+
+func TestBalancedCentersClosedForm(t *testing.T) {
+	// K balanced centers of demand D: X(n) = n / (D*(K+n-1)), a classic
+	// exact-MVA identity.
+	const K, D = 4, 0.5
+	demands := []float64{D, D, D, D}
+	res, err := Solve(demands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		want := float64(r.Clients) / (D * float64(K+r.Clients-1))
+		if math.Abs(r.Throughput-want) > 1e-9 {
+			t.Fatalf("n=%d X=%v want %v", r.Clients, r.Throughput, want)
+		}
+	}
+}
+
+func TestMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random demands in (0, 1].
+		demands := make([]float64, int(uint64(seed)%5)+1)
+		s := uint64(seed)
+		for i := range demands {
+			s = s*6364136223846793005 + 1442695040888963407
+			demands[i] = float64(s%1000+1) / 1000
+		}
+		res, err := Solve(demands, 20)
+		if err != nil {
+			return false
+		}
+		xMax, _ := Asymptote(demands)
+		prevX, prevR := 0.0, 0.0
+		for _, r := range res {
+			// Throughput is nondecreasing and below 1/Dmax; response is
+			// nondecreasing; utilization never exceeds 1.
+			if r.Throughput < prevX-1e-12 || r.Throughput > xMax+1e-9 {
+				return false
+			}
+			if r.Response < prevR-1e-12 {
+				return false
+			}
+			if r.BottleneckUtil > 1+1e-9 {
+				return false
+			}
+			prevX, prevR = r.Throughput, r.Response
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleLaw(t *testing.T) {
+	// N = X * R must hold exactly at every population (no think time).
+	res, err := Solve([]float64{0.3, 0.7, 0.1}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if math.Abs(r.Throughput*r.Response-float64(r.Clients)) > 1e-9 {
+			t.Fatalf("Little's law violated at n=%d: %v * %v != %d",
+				r.Clients, r.Throughput, r.Response, r.Clients)
+		}
+	}
+}
+
+func TestAsymptote(t *testing.T) {
+	xMax, knee := Asymptote([]float64{1, 2, 1})
+	if xMax != 0.5 {
+		t.Fatalf("xMax = %v", xMax)
+	}
+	if knee != 2 {
+		t.Fatalf("knee = %v", knee)
+	}
+	if x, k := Asymptote(nil); x != 0 || k != 0 {
+		t.Fatal("empty asymptote should be zero")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(nil, 1); err == nil {
+		t.Fatal("no centers accepted")
+	}
+	if _, err := Solve([]float64{1}, 0); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := Solve([]float64{-1}, 1); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := Solve([]float64{0, 0}, 1); err == nil {
+		t.Fatal("all-zero demands accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package netsim simulates Gamma's 80 Mbit/s token-ring interconnect at
+// packet granularity. Tuples travelling between operator processes are
+// buffered into 2 KB packets per destination; packets between processes on
+// the same site are "short-circuited" by the communications software —
+// they skip the wire and most of the protocol stack but still cost CPU
+// (the paper stresses that this protocol cost cannot be ignored).
+package netsim
+
+import (
+	"sync/atomic"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/tuple"
+)
+
+// Counters is a snapshot of network activity.
+type Counters struct {
+	PacketsLocal  int64
+	PacketsRemote int64
+	TuplesLocal   int64
+	TuplesRemote  int64
+	BytesOnWire   int64
+}
+
+// Sub returns c - o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		PacketsLocal:  c.PacketsLocal - o.PacketsLocal,
+		PacketsRemote: c.PacketsRemote - o.PacketsRemote,
+		TuplesLocal:   c.TuplesLocal - o.TuplesLocal,
+		TuplesRemote:  c.TuplesRemote - o.TuplesRemote,
+		BytesOnWire:   c.BytesOnWire - o.BytesOnWire,
+	}
+}
+
+// LocalFraction reports the fraction of tuples that short-circuited the
+// network (the paper's Table 2 metric).
+func (c Counters) LocalFraction() float64 {
+	total := c.TuplesLocal + c.TuplesRemote
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TuplesLocal) / float64(total)
+}
+
+// Network carries packets between sites and accounts for them.
+type Network struct {
+	model *cost.Model
+
+	packetsLocal  atomic.Int64
+	packetsRemote atomic.Int64
+	tuplesLocal   atomic.Int64
+	tuplesRemote  atomic.Int64
+	bytesOnWire   atomic.Int64
+}
+
+// New returns a network using cost model m.
+func New(m *cost.Model) *Network { return &Network{model: m} }
+
+// Counters returns a snapshot of the network counters.
+func (n *Network) Counters() Counters {
+	return Counters{
+		PacketsLocal:  n.packetsLocal.Load(),
+		PacketsRemote: n.packetsRemote.Load(),
+		TuplesLocal:   n.tuplesLocal.Load(),
+		TuplesRemote:  n.tuplesRemote.Load(),
+		BytesOnWire:   n.bytesOnWire.Load(),
+	}
+}
+
+// Batch is one packet's worth of tuples addressed to one operator stream.
+// Exactly one of Tuples or Joined is populated.
+type Batch struct {
+	Src   int   // producing site
+	Dst   int   // destination site
+	Local bool  // short-circuited (Src == Dst)
+	Tag   int   // stream tag, interpreted by the consumer (e.g. overflow)
+	Seq   int64 // per-sender sequence number, for deterministic replay
+
+	Tuples []tuple.Tuple
+	Hashes []uint64 // join-attribute hash for each tuple in Tuples
+	Joined []tuple.Joined
+}
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int {
+	if b.Joined != nil {
+		return len(b.Joined)
+	}
+	return len(b.Tuples)
+}
+
+// Recv charges the receive-side protocol cost for one batch to a.
+// Consumers call it once per batch before processing the tuples.
+func (n *Network) Recv(a *cost.Acct, b *Batch) {
+	if b.Local {
+		a.AddCPU(n.model.PacketProtoLocal)
+	} else {
+		a.AddCPU(n.model.PacketProto)
+	}
+}
+
+type streamKey struct {
+	dst int
+	tag int
+}
+
+// Sender buffers outgoing tuples into per-destination packets on behalf of
+// one producing process. It is single-goroutine; create one per producer.
+type Sender struct {
+	net  *Network
+	a    *cost.Acct
+	src  int
+	out  func(dst int, b *Batch)
+	capT int // plain tuples per packet
+	capJ int // joined tuples per packet
+	seq  int64
+
+	bufs  map[streamKey]*Batch
+	order []streamKey // insertion order, for deterministic FlushAll
+}
+
+// NewSender creates a sender for producing site src. Every full packet is
+// handed to deliver, which typically enqueues it on the destination site's
+// channel for the current phase.
+func (n *Network) NewSender(a *cost.Acct, src int, deliver func(dst int, b *Batch)) *Sender {
+	return &Sender{
+		net:  n,
+		a:    a,
+		src:  src,
+		out:  deliver,
+		capT: n.model.TuplesPerPacket(tuple.Bytes),
+		capJ: n.model.TuplesPerPacket(tuple.JoinedBytes),
+		bufs: make(map[streamKey]*Batch),
+	}
+}
+
+// Send routes one tuple (with its precomputed join-attribute hash) to the
+// stream (dst, tag), charging the copy into the outgoing packet.
+func (s *Sender) Send(dst, tag int, t tuple.Tuple, h uint64) {
+	s.a.AddCPU(s.net.model.WriteTuple)
+	k := streamKey{dst, tag}
+	b := s.bufs[k]
+	if b == nil {
+		b = &Batch{Src: s.src, Dst: dst, Local: dst == s.src, Tag: tag}
+		s.bufs[k] = b
+		s.order = append(s.order, k)
+	}
+	b.Tuples = append(b.Tuples, t)
+	b.Hashes = append(b.Hashes, h)
+	if len(b.Tuples) >= s.capT {
+		s.flush(k, b)
+	}
+}
+
+// SendJoined routes one composite result tuple to the stream (dst, tag).
+func (s *Sender) SendJoined(dst, tag int, j tuple.Joined) {
+	s.a.AddCPU(s.net.model.WriteTuple)
+	k := streamKey{dst, tag}
+	b := s.bufs[k]
+	if b == nil {
+		b = &Batch{Src: s.src, Dst: dst, Local: dst == s.src, Tag: tag, Joined: []tuple.Joined{}}
+		s.bufs[k] = b
+		s.order = append(s.order, k)
+	}
+	b.Joined = append(b.Joined, j)
+	if len(b.Joined) >= s.capJ {
+		s.flush(k, b)
+	}
+}
+
+func (s *Sender) flush(k streamKey, b *Batch) {
+	m := s.net.model
+	s.seq++
+	b.Seq = s.seq
+	nt := int64(b.Len())
+	if b.Local {
+		s.a.AddCPU(m.PacketProtoLocal)
+		s.net.packetsLocal.Add(1)
+		s.net.tuplesLocal.Add(nt)
+	} else {
+		s.a.AddCPU(m.PacketProto)
+		s.a.AddNet(m.PacketWire)
+		s.net.packetsRemote.Add(1)
+		s.net.tuplesRemote.Add(nt)
+		s.net.bytesOnWire.Add(int64(m.P.PacketBytes))
+	}
+	delete(s.bufs, k)
+	s.out(b.Dst, b)
+}
+
+// FlushAll sends every partially filled packet, in the deterministic order
+// the streams were first written. Call once when the producer's input
+// stream ends (Gamma's end-of-stream close).
+func (s *Sender) FlushAll() {
+	for _, k := range s.order {
+		if b := s.bufs[k]; b != nil && b.Len() > 0 {
+			s.flush(k, b)
+		} else {
+			delete(s.bufs, k)
+		}
+	}
+	s.order = s.order[:0]
+}

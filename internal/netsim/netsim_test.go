@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/xrand"
+)
+
+func mkTuple(v int32) tuple.Tuple {
+	var t tuple.Tuple
+	t.SetInt(tuple.Unique1, v)
+	return t
+}
+
+func TestPacketBatching(t *testing.T) {
+	m := cost.Default()
+	n := New(m)
+	var a cost.Acct
+	var got []*Batch
+	s := n.NewSender(&a, 0, func(dst int, b *Batch) { got = append(got, b) })
+	// 9 tuples per 2KB packet; send 20 to a remote site -> 2 full + 1 partial.
+	for i := 0; i < 20; i++ {
+		s.Send(3, 0, mkTuple(int32(i)), uint64(i))
+	}
+	if len(got) != 2 {
+		t.Fatalf("full packets delivered = %d, want 2", len(got))
+	}
+	s.FlushAll()
+	if len(got) != 3 {
+		t.Fatalf("packets after flush = %d, want 3", len(got))
+	}
+	total := 0
+	for _, b := range got {
+		total += b.Len()
+		if b.Src != 0 || b.Dst != 3 || b.Local {
+			t.Fatalf("bad batch meta %+v", b)
+		}
+		if len(b.Hashes) != len(b.Tuples) {
+			t.Fatal("hashes not carried")
+		}
+	}
+	if total != 20 {
+		t.Fatalf("tuples delivered = %d", total)
+	}
+	c := n.Counters()
+	if c.PacketsRemote != 3 || c.PacketsLocal != 0 || c.TuplesRemote != 20 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.BytesOnWire != 3*2048 {
+		t.Fatalf("BytesOnWire = %d", c.BytesOnWire)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	m := cost.Default()
+	n := New(m)
+	var a cost.Acct
+	s := n.NewSender(&a, 5, func(int, *Batch) {})
+	for i := 0; i < 9; i++ {
+		s.Send(5, 0, mkTuple(int32(i)), 0)
+	}
+	c := n.Counters()
+	if c.PacketsLocal != 1 || c.PacketsRemote != 0 || c.TuplesLocal != 9 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if a.Net != 0 {
+		t.Fatal("short-circuited packet charged wire time")
+	}
+	// Protocol cost is charged even locally (the paper insists).
+	if a.CPU < m.PacketProtoLocal {
+		t.Fatal("local packet did not charge protocol CPU")
+	}
+}
+
+func TestRemoteCostsMoreThanLocal(t *testing.T) {
+	m := cost.Default()
+	n := New(m)
+	var local, remote cost.Acct
+	sl := n.NewSender(&local, 1, func(int, *Batch) {})
+	sr := n.NewSender(&remote, 1, func(int, *Batch) {})
+	for i := 0; i < 9; i++ {
+		sl.Send(1, 0, mkTuple(0), 0)
+		sr.Send(2, 0, mkTuple(0), 0)
+	}
+	if remote.CPU <= local.CPU {
+		t.Fatal("remote protocol CPU should exceed local")
+	}
+	if remote.Net == 0 {
+		t.Fatal("remote packet must use the wire")
+	}
+}
+
+func TestJoinedBatching(t *testing.T) {
+	m := cost.Default()
+	n := New(m)
+	var a cost.Acct
+	var got []*Batch
+	s := n.NewSender(&a, 0, func(dst int, b *Batch) { got = append(got, b) })
+	// 416-byte result tuples: 4 per packet.
+	for i := 0; i < 4; i++ {
+		s.SendJoined(1, 0, tuple.Joined{})
+	}
+	if len(got) != 1 || got[0].Len() != 4 {
+		t.Fatalf("joined batching wrong: %d batches", len(got))
+	}
+}
+
+func TestStreamsSeparateByTag(t *testing.T) {
+	n := New(cost.Default())
+	var a cost.Acct
+	var got []*Batch
+	s := n.NewSender(&a, 0, func(dst int, b *Batch) { got = append(got, b) })
+	s.Send(1, 7, mkTuple(1), 0)
+	s.Send(1, 8, mkTuple(2), 0)
+	s.FlushAll()
+	if len(got) != 2 {
+		t.Fatalf("tagged streams merged: %d batches", len(got))
+	}
+	tags := map[int]bool{got[0].Tag: true, got[1].Tag: true}
+	if !tags[7] || !tags[8] {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestRecvCharges(t *testing.T) {
+	m := cost.Default()
+	n := New(m)
+	var a cost.Acct
+	n.Recv(&a, &Batch{Local: true})
+	if a.CPU != m.PacketProtoLocal {
+		t.Fatalf("local recv CPU = %d", a.CPU)
+	}
+	var b cost.Acct
+	n.Recv(&b, &Batch{Local: false})
+	if b.CPU != m.PacketProto {
+		t.Fatalf("remote recv CPU = %d", b.CPU)
+	}
+}
+
+func TestCountersSubAndLocalFraction(t *testing.T) {
+	a := Counters{PacketsLocal: 5, PacketsRemote: 10, TuplesLocal: 30, TuplesRemote: 90, BytesOnWire: 1000}
+	b := Counters{PacketsLocal: 1, PacketsRemote: 2, TuplesLocal: 10, TuplesRemote: 50, BytesOnWire: 200}
+	d := a.Sub(b)
+	if d.TuplesLocal != 20 || d.TuplesRemote != 40 || d.BytesOnWire != 800 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if f := d.LocalFraction(); f < 0.33 || f > 0.34 {
+		t.Fatalf("LocalFraction = %v", f)
+	}
+	if (Counters{}).LocalFraction() != 0 {
+		t.Fatal("empty counters LocalFraction should be 0")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Everything sent is delivered exactly once, regardless of stream
+	// fan-out, and sequence numbers are strictly increasing per sender.
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%800 + 1
+		net := New(cost.Default())
+		var a cost.Acct
+		got := map[int]int{}
+		var lastSeq int64
+		seqOK := true
+		s := net.NewSender(&a, 3, func(dst int, b *Batch) {
+			got[dst] += b.Len()
+			if b.Seq <= lastSeq {
+				seqOK = false
+			}
+			lastSeq = b.Seq
+		})
+		src := xrand.New(seed)
+		want := map[int]int{}
+		for i := 0; i < n; i++ {
+			dst := src.Intn(5)
+			tag := src.Intn(3)
+			s.Send(dst, tag, mkTuple(int32(i)), uint64(i))
+			want[dst]++
+		}
+		s.FlushAll()
+		for dst, w := range want {
+			if got[dst] != w {
+				return false
+			}
+		}
+		c := net.Counters()
+		return seqOK && c.TuplesLocal+c.TuplesRemote == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

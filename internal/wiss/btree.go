@@ -1,0 +1,259 @@
+package wiss
+
+import "fmt"
+
+// BTree is a B+-tree index mapping int32 keys to record ids, reproducing the
+// B+ index service WiSS provides. Duplicate keys are permitted (the
+// Wisconsin benchmark's non-unique attributes need them). The tree is an
+// in-memory substrate component: Gamma's join algorithms never scan indices
+// (selections do), so index operations are not charged to the cost model.
+type BTree struct {
+	order int // max children per interior node
+	root  btNode
+	size  int
+}
+
+// RecordID identifies a tuple in a heap file.
+type RecordID struct {
+	Page int32
+	Slot int32
+}
+
+type btNode interface {
+	insert(key int32, rid RecordID, order int) (split bool, sepKey int32, right btNode)
+	search(key int32, out *[]RecordID)
+	rng(lo, hi int32, fn func(int32, RecordID) bool) bool
+	minKey() int32
+	depthCheck() int
+	keysInOrder(prevOK bool, prev *int32) bool
+}
+
+type btLeaf struct {
+	keys []int32
+	rids []RecordID
+	next *btLeaf
+}
+
+type btInner struct {
+	keys     []int32
+	children []btNode
+}
+
+// NewBTree returns an empty tree. order must be at least 4; 64 is a typical
+// page-sized fan-out.
+func NewBTree(order int) *BTree {
+	if order < 4 {
+		order = 4
+	}
+	return &BTree{order: order, root: &btLeaf{}}
+}
+
+// Len reports the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Insert adds key -> rid.
+func (t *BTree) Insert(key int32, rid RecordID) {
+	split, sep, right := t.root.insert(key, rid, t.order)
+	if split {
+		t.root = &btInner{keys: []int32{sep}, children: []btNode{t.root, right}}
+	}
+	t.size++
+}
+
+// Search returns all record ids stored under key.
+func (t *BTree) Search(key int32) []RecordID {
+	var out []RecordID
+	t.root.search(key, &out)
+	return out
+}
+
+// Range calls fn for every entry with lo <= key <= hi, in key order; fn may
+// return false to stop.
+func (t *BTree) Range(lo, hi int32, fn func(key int32, rid RecordID) bool) {
+	t.root.rng(lo, hi, fn)
+}
+
+// --- leaf ---
+
+func (l *btLeaf) find(key int32) int {
+	i, j := 0, len(l.keys)
+	for i < j {
+		m := (i + j) / 2
+		if l.keys[m] < key {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i
+}
+
+func (l *btLeaf) insert(key int32, rid RecordID, order int) (bool, int32, btNode) {
+	i := l.find(key)
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.rids = append(l.rids, RecordID{})
+	copy(l.rids[i+1:], l.rids[i:])
+	l.rids[i] = rid
+	if len(l.keys) < order {
+		return false, 0, nil
+	}
+	mid := len(l.keys) / 2
+	right := &btLeaf{
+		keys: append([]int32(nil), l.keys[mid:]...),
+		rids: append([]RecordID(nil), l.rids[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.rids = l.rids[:mid]
+	l.next = right
+	return true, right.keys[0], right
+}
+
+func (l *btLeaf) search(key int32, out *[]RecordID) {
+	// The descent is left-biased (see btInner.childFor), so duplicates of
+	// key start in this leaf or a later one; walk the leaf chain forward.
+	i := l.find(key)
+	for n := l; n != nil; n = n.next {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > key {
+				return
+			}
+			*out = append(*out, n.rids[i])
+		}
+		i = 0
+	}
+}
+
+func (l *btLeaf) rng(lo, hi int32, fn func(int32, RecordID) bool) bool {
+	for n := l; n != nil; n = n.next {
+		for i := n.find(lo); i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return false
+			}
+			if !fn(n.keys[i], n.rids[i]) {
+				return false
+			}
+		}
+		lo = -1 << 31 // subsequent leaves start from their beginning
+	}
+	return true
+}
+
+func (l *btLeaf) minKey() int32 {
+	if len(l.keys) == 0 {
+		return 0
+	}
+	return l.keys[0]
+}
+
+func (l *btLeaf) depthCheck() int { return 1 }
+
+func (l *btLeaf) keysInOrder(prevOK bool, prev *int32) bool {
+	for _, k := range l.keys {
+		if prevOK && k < *prev {
+			return false
+		}
+		*prev = k
+		prevOK = true
+	}
+	return true
+}
+
+// --- inner ---
+
+// childFor is left-biased on equality: a key equal to a separator descends
+// to the left of it. Combined with the forward leaf-chain walk in search and
+// rng, this guarantees every duplicate of a key is found even when the
+// duplicates straddle node boundaries.
+func (n *btInner) childFor(key int32) int {
+	i, j := 0, len(n.keys)
+	for i < j {
+		m := (i + j) / 2
+		if n.keys[m] < key {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i
+}
+
+func (n *btInner) insert(key int32, rid RecordID, order int) (bool, int32, btNode) {
+	ci := n.childFor(key)
+	split, sep, right := n.children[ci].insert(key, rid, order)
+	if !split {
+		return false, 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.children) <= order {
+		return false, 0, nil
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	rn := &btInner{
+		keys:     append([]int32(nil), n.keys[mid+1:]...),
+		children: append([]btNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return true, sepUp, rn
+}
+
+func (n *btInner) search(key int32, out *[]RecordID) {
+	n.children[n.childFor(key)].search(key, out)
+}
+
+func (n *btInner) rng(lo, hi int32, fn func(int32, RecordID) bool) bool {
+	// Descend to the leaf containing lo; the leaf chain handles the rest.
+	return n.children[n.childFor(lo)].rng(lo, hi, fn)
+}
+
+func (n *btInner) minKey() int32 { return n.children[0].minKey() }
+
+func (n *btInner) depthCheck() int {
+	d := n.children[0].depthCheck()
+	for _, c := range n.children[1:] {
+		if c.depthCheck() != d {
+			return -1
+		}
+	}
+	if d < 0 {
+		return -1
+	}
+	return d + 1
+}
+
+func (n *btInner) keysInOrder(prevOK bool, prev *int32) bool {
+	ok := n.children[0].keysInOrder(prevOK, prev)
+	for i, c := range n.children[1:] {
+		if !ok {
+			return false
+		}
+		if c.minKey() < n.keys[i] {
+			return false
+		}
+		ok = c.keysInOrder(true, prev)
+	}
+	return ok
+}
+
+// Validate checks the B+-tree invariants: uniform leaf depth and
+// non-decreasing key order across the whole tree (including the leaf chain
+// used by Range). It returns an error describing the first violation.
+func (t *BTree) Validate() error {
+	if t.root.depthCheck() < 0 {
+		return fmt.Errorf("wiss: btree leaves at unequal depths")
+	}
+	var prev int32
+	if !t.root.keysInOrder(false, &prev) {
+		return fmt.Errorf("wiss: btree keys out of order")
+	}
+	return nil
+}

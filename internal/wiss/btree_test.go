@@ -1,0 +1,125 @@
+package wiss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gammajoin/internal/xrand"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree(8)
+	for i := int32(0); i < 1000; i++ {
+		bt.Insert(i, RecordID{Page: i / 39, Slot: i % 39})
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 1000; i++ {
+		rids := bt.Search(i)
+		if len(rids) != 1 {
+			t.Fatalf("Search(%d) returned %d rids", i, len(rids))
+		}
+		if rids[0] != (RecordID{Page: i / 39, Slot: i % 39}) {
+			t.Fatalf("Search(%d) = %+v", i, rids[0])
+		}
+	}
+	if len(bt.Search(5000)) != 0 {
+		t.Fatal("Search of absent key returned results")
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	bt := NewBTree(4) // tiny order to force duplicate spans across leaves
+	for i := int32(0); i < 50; i++ {
+		bt.Insert(7, RecordID{Slot: i})
+	}
+	bt.Insert(6, RecordID{Slot: 99})
+	bt.Insert(8, RecordID{Slot: 98})
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bt.Search(7)); got != 50 {
+		t.Fatalf("Search(7) returned %d rids, want 50", got)
+	}
+	if got := len(bt.Search(6)); got != 1 {
+		t.Fatalf("Search(6) returned %d", got)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree(8)
+	for i := int32(0); i < 500; i++ {
+		bt.Insert(i*2, RecordID{Slot: i}) // even keys 0..998
+	}
+	var keys []int32
+	bt.Range(100, 121, func(k int32, _ RecordID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int32{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(keys) != len(want) {
+		t.Fatalf("Range returned %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range returned %v", keys)
+		}
+	}
+	// Early stop.
+	n := 0
+	bt.Range(0, 998, func(int32, RecordID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stopped Range visited %d", n)
+	}
+}
+
+func TestBTreeRandomInserts(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%3000 + 1
+		bt := NewBTree(6)
+		r := xrand.New(seed)
+		counts := map[int32]int{}
+		for i := 0; i < n; i++ {
+			k := int32(r.Intn(200)) // lots of duplicates
+			counts[k]++
+			bt.Insert(k, RecordID{Slot: int32(i)})
+		}
+		if bt.Validate() != nil {
+			return false
+		}
+		for k, c := range counts {
+			if len(bt.Search(k)) != c {
+				return false
+			}
+		}
+		// Full range scan must visit every entry in order.
+		prev := int32(-1 << 31)
+		total := 0
+		bt.Range(-1<<31, 1<<31-1, func(k int32, _ RecordID) bool {
+			if k < prev {
+				return false
+			}
+			prev = k
+			total++
+			return true
+		})
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeMinOrderClamped(t *testing.T) {
+	bt := NewBTree(1)
+	for i := int32(0); i < 100; i++ {
+		bt.Insert(i, RecordID{})
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

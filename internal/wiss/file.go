@@ -1,0 +1,201 @@
+// Package wiss is a small reproduction of the Wisconsin Storage System
+// services that Gamma's operators rely on: page-structured sequential files
+// with buffered appends and read-ahead scans, an external merge-sort
+// utility, and B+-tree indices.
+//
+// Files store tuples in memory but are organized into pages; every page
+// flushed or fetched is charged to a cost.Acct through the owning simulated
+// disk, so file activity is visible in simulated response times.
+package wiss
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
+	"gammajoin/internal/tuple"
+)
+
+var nextFileID atomic.Int64
+
+// File is a page-structured sequential file of fixed-size tuples on one
+// simulated disk.
+type File struct {
+	id      int64
+	name    string
+	dsk     *disk.Disk
+	model   *cost.Model
+	perPage int
+
+	mu    sync.Mutex
+	pages [][]tuple.Tuple
+	n     int64
+}
+
+// NewFile creates an empty file on disk d.
+func NewFile(name string, d *disk.Disk, m *cost.Model) *File {
+	return &File{
+		id:      nextFileID.Add(1),
+		name:    name,
+		dsk:     d,
+		model:   m,
+		perPage: m.TuplesPerPage(tuple.Bytes),
+	}
+}
+
+// ID returns the unique file id (used for disk arm-movement accounting).
+func (f *File) ID() int64 { return f.id }
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Disk returns the disk the file lives on.
+func (f *File) Disk() *disk.Disk { return f.dsk }
+
+// Len returns the number of tuples in the file (including any buffered in a
+// partially full last page).
+func (f *File) Len() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Pages returns the number of pages the file occupies.
+func (f *File) Pages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+// Append adds one tuple, charging the tuple copy to a and a page write when
+// a page fills. Callers must Flush once the stream ends to persist (and
+// charge) the final partial page.
+func (f *File) Append(a *cost.Acct, t tuple.Tuple) {
+	a.AddCPU(f.model.WriteTuple)
+	f.mu.Lock()
+	last := len(f.pages) - 1
+	if last < 0 || len(f.pages[last]) >= f.perPage {
+		f.pages = append(f.pages, make([]tuple.Tuple, 0, f.perPage))
+		last++
+	}
+	f.pages[last] = append(f.pages[last], t)
+	f.n++
+	full := len(f.pages[last]) >= f.perPage
+	f.mu.Unlock()
+	if full {
+		f.dsk.WritePage(a, f.id)
+	}
+}
+
+// Flush charges the write of a trailing partial page, if any. Idempotent
+// only in the sense that calling it with no new appends charges at most one
+// extra partial-page write per call, so call it exactly once per writer.
+func (f *File) Flush(a *cost.Acct) {
+	f.mu.Lock()
+	partial := len(f.pages) > 0 && len(f.pages[len(f.pages)-1]) < f.perPage
+	f.mu.Unlock()
+	if partial {
+		f.dsk.WritePage(a, f.id)
+	}
+}
+
+// Scan iterates the file sequentially with one-page read-ahead semantics:
+// each page is charged as a sequential read, each tuple as a ReadTuple. The
+// callback may return false to stop early; pages past the stopping point are
+// not charged (this is how the sort-merge join's early termination on skewed
+// inner relations saves I/O).
+func (f *File) Scan(a *cost.Acct, fn func(t *tuple.Tuple) bool) {
+	f.mu.Lock()
+	pages := f.pages
+	f.mu.Unlock()
+	for _, pg := range pages {
+		f.dsk.ReadSeq(a, f.id)
+		for i := range pg {
+			a.AddCPU(f.model.ReadTuple)
+			if !fn(&pg[i]) {
+				return
+			}
+		}
+	}
+}
+
+// At returns a pointer to the tuple at a linear position (page-major),
+// without charging any cost: callers using positional access (index
+// lookups) charge their own page reads.
+func (f *File) At(pos int64) (*tuple.Tuple, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pos < 0 || pos >= f.n {
+		return nil, false
+	}
+	return &f.pages[pos/int64(f.perPage)][pos%int64(f.perPage)], true
+}
+
+// UpdateWhere scans the file, applies mutate to every tuple match accepts,
+// and charges one page write per dirtied page — the in-place update path of
+// Gamma's update operators. It returns the number of tuples modified.
+func (f *File) UpdateWhere(a *cost.Acct, match func(t *tuple.Tuple) bool,
+	mutate func(t *tuple.Tuple)) int64 {
+	f.mu.Lock()
+	pages := f.pages
+	f.mu.Unlock()
+	var updated int64
+	for _, pg := range pages {
+		f.dsk.ReadSeq(a, f.id)
+		dirty := false
+		for i := range pg {
+			a.AddCPU(f.model.ReadTuple)
+			if match(&pg[i]) {
+				a.AddCPU(f.model.WriteTuple)
+				mutate(&pg[i])
+				dirty = true
+				updated++
+			}
+		}
+		if dirty {
+			f.dsk.WritePage(a, f.id)
+		}
+	}
+	return updated
+}
+
+// Cursor is a forward-only reader over a file, used by merge joins and the
+// sort utility. It charges page reads and tuple fetches as it advances.
+type Cursor struct {
+	f    *File
+	a    *cost.Acct
+	page int
+	slot int
+}
+
+// NewCursor returns a cursor positioned before the first tuple.
+func (f *File) NewCursor(a *cost.Acct) *Cursor {
+	return &Cursor{f: f, a: a}
+}
+
+// Next returns the next tuple, or ok=false at end of file.
+func (c *Cursor) Next() (t tuple.Tuple, ok bool) {
+	c.f.mu.Lock()
+	pages := c.f.pages
+	c.f.mu.Unlock()
+	for c.page < len(pages) {
+		pg := pages[c.page]
+		if c.slot == 0 && len(pg) > 0 {
+			c.f.dsk.ReadSeq(c.a, c.f.id)
+		}
+		if c.slot < len(pg) {
+			c.a.AddCPU(c.f.model.ReadTuple)
+			t = pg[c.slot]
+			c.slot++
+			return t, true
+		}
+		c.page++
+		c.slot = 0
+	}
+	return tuple.Tuple{}, false
+}
+
+// Reset rewinds the cursor to the beginning (subsequent reads are charged
+// again, as the pages must be re-fetched).
+func (c *Cursor) Reset() { c.page, c.slot = 0, 0 }

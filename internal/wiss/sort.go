@@ -1,0 +1,195 @@
+package wiss
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/tuple"
+)
+
+// SortStats reports what an external sort did. The number of merge passes is
+// what produces the upward steps in the paper's sort-merge response-time
+// curves as sort memory shrinks.
+type SortStats struct {
+	InitialRuns int
+	MergePasses int
+	FitInMemory bool
+}
+
+// Sort externally sorts src by integer attribute attr into dst using at most
+// memBytes of sort/merge memory, charging all CPU (comparisons, moves) and
+// disk traffic (run files, merge passes) to a. dst must be empty and on the
+// same disk as src (Gamma sorts site-local temporary files in place).
+//
+// Run formation loads memory-sized chunks and quicksorts them; merging is
+// multiway with fan-in limited to the number of memory pages minus one
+// output buffer.
+func Sort(a *cost.Acct, src, dst *File, attr int, memBytes int64) (SortStats, error) {
+	var st SortStats
+	if dst.Len() != 0 {
+		return st, fmt.Errorf("wiss: Sort destination %q not empty", dst.Name())
+	}
+	m := src.model
+	runTuples := int(memBytes / tuple.Bytes)
+	if runTuples < 1 {
+		runTuples = 1
+	}
+	memPages := int(memBytes) / m.P.PageBytes
+	fanin := memPages - 1
+	if fanin < 2 {
+		fanin = 2
+	}
+
+	// Pass 0: run formation.
+	var runs []*File
+	cur := make([]tuple.Tuple, 0, min(runTuples, int(src.Len())))
+	flushRun := func() {
+		if len(cur) == 0 {
+			return
+		}
+		sortChunk(a, m, cur, attr)
+		st.InitialRuns++
+		var out *File
+		if int64(len(cur)) == src.Len() && st.InitialRuns == 1 {
+			// Whole file fits in memory: write sorted output directly.
+			out = dst
+			st.FitInMemory = true
+		} else {
+			out = NewFile(fmt.Sprintf("%s.run%d", src.Name(), st.InitialRuns), src.dsk, m)
+		}
+		for _, t := range cur {
+			out.Append(a, t)
+		}
+		out.Flush(a)
+		if out != dst {
+			runs = append(runs, out)
+		}
+		cur = cur[:0]
+	}
+	src.Scan(a, func(t *tuple.Tuple) bool {
+		cur = append(cur, *t)
+		if len(cur) >= runTuples {
+			flushRun()
+		}
+		return true
+	})
+	flushRun()
+	if st.FitInMemory {
+		return st, nil
+	}
+	if len(runs) == 0 {
+		return st, nil // empty input
+	}
+
+	// Merge passes.
+	level := 0
+	for len(runs) > 1 {
+		st.MergePasses++
+		level++
+		var next []*File
+		for i := 0; i < len(runs); i += fanin {
+			group := runs[i:min(i+fanin, len(runs))]
+			var out *File
+			if len(runs) <= fanin && i == 0 {
+				out = dst
+			} else {
+				out = NewFile(fmt.Sprintf("%s.m%d.%d", src.Name(), level, i), src.dsk, m)
+			}
+			mergeRuns(a, m, group, out, attr)
+			if out != dst {
+				next = append(next, out)
+			}
+		}
+		if len(next) == 0 {
+			return st, nil
+		}
+		runs = next
+	}
+	// Single run left but dst not yet written (only happens when pass 0
+	// produced exactly one run that did not fit in memory bookkeeping).
+	st.MergePasses++
+	mergeRuns(a, m, runs, dst, attr)
+	return st, nil
+}
+
+// sortChunk sorts tuples in memory by attr and charges n*ceil(log2 n)
+// comparisons plus n moves.
+func sortChunk(a *cost.Acct, m *cost.Model, ts []tuple.Tuple, attr int) {
+	n := len(ts)
+	if n > 1 {
+		sort.SliceStable(ts, func(i, j int) bool {
+			return ts[i].Ints[attr] < ts[j].Ints[attr]
+		})
+		lg := int64(bits.Len(uint(n - 1)))
+		a.AddCPU(int64(n) * lg * m.SortCompare)
+		a.AddCPU(int64(n) * m.SortMove)
+	}
+}
+
+type mergeItem struct {
+	t   tuple.Tuple
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	attr  int
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.items[i].t.Ints[h.attr] < h.items[j].t.Ints[h.attr]
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeRuns k-way merges the given sorted runs into out, charging ~log2(k)
+// comparisons plus one move per tuple, and all page traffic.
+func mergeRuns(a *cost.Acct, m *cost.Model, runs []*File, out *File, attr int) {
+	cursors := make([]*Cursor, len(runs))
+	h := &mergeHeap{attr: attr}
+	for i, r := range runs {
+		cursors[i] = r.NewCursor(a)
+		if t, ok := cursors[i].Next(); ok {
+			h.items = append(h.items, mergeItem{t: t, src: i})
+		}
+	}
+	heap.Init(h)
+	lg := int64(bits.Len(uint(max(len(runs)-1, 1))))
+	for h.Len() > 0 {
+		it := h.items[0]
+		a.AddCPU(lg*m.SortCompare + m.SortMove)
+		out.Append(a, it.t)
+		if t, ok := cursors[it.src].Next(); ok {
+			h.items[0] = mergeItem{t: t, src: it.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	out.Flush(a)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

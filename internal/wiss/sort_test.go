@@ -1,0 +1,162 @@
+package wiss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/xrand"
+)
+
+func sortFixture(t *testing.T, n int, seed uint64) (*File, *File, *cost.Acct) {
+	t.Helper()
+	m := cost.Default()
+	d := disk.New(0, m)
+	src := NewFile("src", d, m)
+	dst := NewFile("dst", d, m)
+	var a cost.Acct
+	r := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		src.Append(&a, mkTuple(int32(r.Intn(1000000))))
+	}
+	src.Flush(&a)
+	return src, dst, &a
+}
+
+func checkSorted(t *testing.T, f *File, a *cost.Acct, wantN int64) {
+	t.Helper()
+	if f.Len() != wantN {
+		t.Fatalf("sorted file has %d tuples, want %d", f.Len(), wantN)
+	}
+	prev := int32(-1 << 31)
+	f.Scan(a, func(tp *tuple.Tuple) bool {
+		v := tp.Int(tuple.Unique1)
+		if v < prev {
+			t.Fatalf("out of order: %d after %d", v, prev)
+		}
+		prev = v
+		return true
+	})
+}
+
+func TestSortInMemory(t *testing.T) {
+	src, dst, a := sortFixture(t, 500, 1)
+	st, err := Sort(a, src, dst, tuple.Unique1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FitInMemory || st.MergePasses != 0 || st.InitialRuns != 1 {
+		t.Fatalf("stats = %+v, want in-memory single run", st)
+	}
+	checkSorted(t, dst, a, 500)
+}
+
+func TestSortExternal(t *testing.T) {
+	const n = 5000
+	src, dst, a := sortFixture(t, n, 2)
+	// 64 KB memory: 8 pages, runs of 315 tuples -> 16 runs, fan-in 7 ->
+	// two merge passes.
+	st, err := Sort(a, src, dst, tuple.Unique1, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FitInMemory {
+		t.Fatal("should not fit in memory")
+	}
+	if st.InitialRuns != 16 {
+		t.Fatalf("InitialRuns = %d, want 16", st.InitialRuns)
+	}
+	if st.MergePasses != 2 {
+		t.Fatalf("MergePasses = %d, want 2", st.MergePasses)
+	}
+	checkSorted(t, dst, a, n)
+}
+
+func TestSortMorePassesWithLessMemory(t *testing.T) {
+	src1, dst1, a1 := sortFixture(t, 4000, 3)
+	st1, err := Sort(a1, src1, dst1, tuple.Unique1, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, dst2, a2 := sortFixture(t, 4000, 3)
+	st2, err := Sort(a2, src2, dst2, tuple.Unique1, 24<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MergePasses <= st1.MergePasses {
+		t.Fatalf("passes with small memory (%d) should exceed large (%d)",
+			st2.MergePasses, st1.MergePasses)
+	}
+	if a2.Disk <= a1.Disk {
+		t.Fatalf("small-memory sort disk time %d should exceed %d", a2.Disk, a1.Disk)
+	}
+	checkSorted(t, dst2, a2, 4000)
+}
+
+func TestSortEmpty(t *testing.T) {
+	src, dst, a := sortFixture(t, 0, 4)
+	st, err := Sort(a, src, dst, tuple.Unique1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InitialRuns != 0 || dst.Len() != 0 {
+		t.Fatalf("empty sort produced %+v, %d tuples", st, dst.Len())
+	}
+}
+
+func TestSortRejectsDirtyDst(t *testing.T) {
+	src, dst, a := sortFixture(t, 10, 5)
+	dst.Append(a, mkTuple(1))
+	if _, err := Sort(a, src, dst, tuple.Unique1, 1<<20); err == nil {
+		t.Fatal("Sort into non-empty destination should error")
+	}
+}
+
+func TestSortPreservesMultisetProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, memKB uint8) bool {
+		n := int(nRaw)%2000 + 1
+		mem := int64(memKB%64+9) << 10
+		m := cost.Default()
+		d := disk.New(0, m)
+		src := NewFile("src", d, m)
+		dst := NewFile("dst", d, m)
+		var a cost.Acct
+		r := xrand.New(seed)
+		counts := map[int32]int{}
+		for i := 0; i < n; i++ {
+			v := int32(r.Intn(500))
+			counts[v]++
+			src.Append(&a, mkTuple(v))
+		}
+		src.Flush(&a)
+		if _, err := Sort(&a, src, dst, tuple.Unique1, mem); err != nil {
+			return false
+		}
+		prev := int32(-1 << 31)
+		ok := true
+		dst.Scan(&a, func(tp *tuple.Tuple) bool {
+			v := tp.Int(tuple.Unique1)
+			if v < prev {
+				ok = false
+				return false
+			}
+			prev = v
+			counts[v]--
+			return true
+		})
+		if !ok {
+			return false
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

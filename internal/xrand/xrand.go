@@ -1,0 +1,109 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used by the workload generators and hash functions. Everything
+// here is seeded explicitly so experiment runs are reproducible bit-for-bit
+// across machines and Go versions (unlike math/rand's global source).
+package xrand
+
+import "math"
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is also used as a finalizer/mixer for hashing.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x (stateless).
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Source is a xoshiro256** generator.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64 (as recommended by
+// the xoshiro authors).
+func New(seed uint64) *Source {
+	var src Source
+	st := seed
+	for i := range src.s {
+		src.s[i] = SplitMix64(&st)
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit value.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	// Guard u1 away from zero so Log is finite.
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// NormalIntClamped returns a normal variate rounded to the nearest integer
+// and clamped to [lo, hi]. This is how the paper's skewed join attribute
+// (normal with mean 50000, stddev 750 over the domain 0..99999) is drawn.
+func (s *Source) NormalIntClamped(mean, stddev float64, lo, hi int) int {
+	v := int(math.Round(s.Normal(mean, stddev)))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}

@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build lint test race bench determinism clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint runs the stock vet suite plus gammavet, the repo's own analyzers
+# (simulator determinism + cost-model accounting; see docs/STATIC_ANALYSIS.md).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/gammavet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the scaled-down joinABprime experiments (Tables 1 and 2).
+bench:
+	$(GO) run ./cmd/gammabench -exp table1,table2 -outer 20000 -inner 2000
+
+# determinism runs the joinABprime benchmark twice and requires byte-identical
+# cost reports — the live counterpart of the gammavet determinism analyzer.
+determinism:
+	$(GO) run ./cmd/gammabench -exp table1,table2 -outer 20000 -inner 2000 > /tmp/gammajoin-det-1.txt
+	$(GO) run ./cmd/gammabench -exp table1,table2 -outer 20000 -inner 2000 > /tmp/gammajoin-det-2.txt
+	cmp /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
+	@echo "determinism gate: OK"
+
+clean:
+	$(GO) clean ./...
+	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt

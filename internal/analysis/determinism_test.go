@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismSeededViolations(t *testing.T) {
+	RunTest(t, "testdata/determ", Determinism)
+}

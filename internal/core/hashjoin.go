@@ -231,8 +231,8 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 	// embedded in the split table used for the outer relation (the h'
 	// functions of Section 3.2).
 	cutoffs := make(map[int]uint64, len(tables))
-	for j, tbl := range tables {
-		cutoffs[j] = tbl.Cutoff()
+	for _, j := range rc.joinSites {
+		cutoffs[j] = tables[j].Cutoff()
 	}
 
 	// ---- probe phase: redistribute the outer source files ----
@@ -291,7 +291,7 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 					})
 				}
 			}
-			rc.noteChains(tbl)
+			rc.noteChains(j, tbl)
 		}
 	}
 	rc.addFileAppendConsumers(probe.consume, soverF, tagSOverBase)

@@ -111,8 +111,8 @@ func (rc *runCtx) runHybrid() error {
 	rc.runPhase(partR)
 
 	cutoffs := make(map[int]uint64, len(tables))
-	for j, tbl := range tables {
-		cutoffs[j] = tbl.Cutoff()
+	for _, j := range rc.joinSites {
+		cutoffs[j] = tables[j].Cutoff()
 	}
 
 	// ---- phase 2: partition S, probing bucket 1 on the fly ----
@@ -173,7 +173,7 @@ func (rc *runCtx) runHybrid() error {
 					})
 				}
 			}
-			rc.noteChains(tbl)
+			rc.noteChains(j, tbl)
 		}
 	}, sb, ff, false)
 	// Disk-site consumers also append S-overflow batches sent directly by

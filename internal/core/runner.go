@@ -56,10 +56,8 @@ type runCtx struct {
 	sortPassesS    int
 	filterBits     int
 
-	chainMu    sync.Mutex
-	chainSum   float64
-	chainSites int
-	chainMax   int
+	chainMu     sync.Mutex
+	chainBySite map[int]chainStat
 
 	resMu   sync.Mutex
 	results []tuple.Joined
@@ -98,17 +96,18 @@ func newRunCtx(c *gamma.Cluster, spec *Spec) (*runCtx, error) {
 		return nil, fmt.Errorf("core: cluster has no disk sites")
 	}
 	rc := &runCtx{
-		c:          c,
-		q:          c.NewQuery(),
-		spec:       spec,
-		m:          c.Model,
-		joinSites:  js,
-		diskSites:  c.DiskSites(),
-		memTotal:   mem,
-		memPerSite: mem / int64(len(js)),
-		netStart:   c.Net.Counters(),
-		diskStart:  c.DiskCounters(),
-		storeCount: make(map[int]*int64),
+		c:           c,
+		q:           c.NewQuery(),
+		spec:        spec,
+		m:           c.Model,
+		joinSites:   js,
+		diskSites:   c.DiskSites(),
+		memTotal:    mem,
+		memPerSite:  mem / int64(len(js)),
+		netStart:    c.Net.Counters(),
+		diskStart:   c.DiskCounters(),
+		storeCount:  make(map[int]*int64),
+		chainBySite: make(map[int]chainStat),
 	}
 	if rc.memPerSite < int64(tuple.Bytes) {
 		rc.memPerSite = tuple.Bytes
@@ -162,12 +161,24 @@ func (rc *runCtx) report() *Report {
 		SortPassesR:       rc.sortPassesR,
 		SortPassesS:       rc.sortPassesS,
 	}
+	// Chain stats are folded in sorted site order: float addition is not
+	// associative, so summing in goroutine-completion order would make
+	// AvgChain run-dependent.
 	rc.chainMu.Lock()
-	if rc.chainSites > 0 {
-		r.AvgChain = rc.chainSum / float64(rc.chainSites)
+	var chainSum float64
+	var chainSites int
+	for _, site := range sortedKeys(rc.chainBySite) {
+		st := rc.chainBySite[site]
+		chainSum += st.sum
+		chainSites += st.n
+		if st.max > r.MaxChain {
+			r.MaxChain = st.max
+		}
 	}
-	r.MaxChain = rc.chainMax
 	rc.chainMu.Unlock()
+	if chainSites > 0 {
+		r.AvgChain = chainSum / float64(chainSites)
+	}
 
 	// Utilization: per-site CPU time over the response time, averaged
 	// within each processor class; bottleneck: the busiest site's summed
@@ -199,7 +210,7 @@ func (rc *runCtx) report() *Report {
 		}
 	}
 	var maxBusy int64
-	for _, b := range busy {
+	for _, b := range busy { //gammavet:ordered max fold is order-independent
 		if b > maxBusy {
 			maxBusy = b
 		}
@@ -208,16 +219,26 @@ func (rc *runCtx) report() *Report {
 	return r
 }
 
-func (rc *runCtx) noteChains(ht *gamma.HashTable) {
+// chainStat accumulates hash-chain statistics for one join site so they can
+// be merged in a fixed order at report time.
+type chainStat struct {
+	sum float64
+	n   int
+	max int
+}
+
+func (rc *runCtx) noteChains(site int, ht *gamma.HashTable) {
 	avg, maxLen := ht.ChainStats()
 	rc.chainMu.Lock()
+	st := rc.chainBySite[site]
 	if avg > 0 {
-		rc.chainSum += avg
-		rc.chainSites++
+		st.sum += avg
+		st.n++
 	}
-	if maxLen > rc.chainMax {
-		rc.chainMax = maxLen
+	if maxLen > st.max {
+		st.max = maxLen
 	}
+	rc.chainBySite[site] = st
 	rc.chainMu.Unlock()
 }
 
@@ -286,6 +307,18 @@ func drainSorted(net *netsim.Network, a *cost.Acct, ch <-chan *netsim.Batch) []*
 	return batches
 }
 
+// sortedKeys returns m's keys in ascending site order. Phase goroutines are
+// launched through it so spawn order (and hence Phase.Acct creation order
+// and netsim sequence assignment) never depends on map iteration order.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // runPhase executes one phase: solo workers and producers run first-stage,
 // consumers drain the first exchange (and may emit to the second), writers
 // drain the second exchange.
@@ -295,7 +328,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) {
 	ex2 := rc.c.NewExchange()
 
 	var writers sync.WaitGroup
-	for site, fn := range ps.write {
+	for _, site := range sortedKeys(ps.write) {
+		fn := ps.write[site]
 		writers.Add(1)
 		go func(site int, fn writerFn) {
 			defer writers.Done()
@@ -305,7 +339,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) {
 	}
 
 	var consumers sync.WaitGroup
-	for site, fn := range ps.consume {
+	for _, site := range sortedKeys(ps.consume) {
+		fn := ps.consume[site]
 		consumers.Add(1)
 		go func(site int, fn consumerFn) {
 			defer consumers.Done()
@@ -317,7 +352,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) {
 	}
 
 	var producers sync.WaitGroup
-	for site, fns := range ps.produce {
+	for _, site := range sortedKeys(ps.produce) {
+		fns := ps.produce[site]
 		producers.Add(1)
 		go func(site int, fns []producerFn) {
 			defer producers.Done()
@@ -330,7 +366,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) {
 		}(site, fns)
 	}
 	var solos sync.WaitGroup
-	for site, fns := range ps.solo {
+	for _, site := range sortedKeys(ps.solo) {
+		fns := ps.solo[site]
 		solos.Add(1)
 		go func(site int, fns []func(*cost.Acct)) {
 			defer solos.Done()

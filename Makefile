@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench determinism clean
+.PHONY: all build lint test race bench determinism chaos clean
 
 all: build lint test
 
@@ -31,6 +31,23 @@ determinism:
 	cmp /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
 	@echo "determinism gate: OK"
 
+# chaos runs joinABprime across all four algorithms (fig5) under three fault
+# seeds with every injector active, under the race detector, and requires
+# each seed's two runs to produce byte-identical reports — the determinism
+# gate with the fault layer switched on (see docs/FAULTS.md).
+CHAOS_RATES = -fault-disk 0.02 -fault-net 0.02 -fault-dup 0.02 -fault-mem 0.3 -fault-crash 0.05
+chaos:
+	@for seed in 3 17 1989; do \
+		echo "chaos: fault seed $$seed"; \
+		$(GO) run -race ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+			-fault-seed $$seed $(CHAOS_RATES) > /tmp/gammajoin-chaos-1.txt || exit 1; \
+		$(GO) run -race ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+			-fault-seed $$seed $(CHAOS_RATES) > /tmp/gammajoin-chaos-2.txt || exit 1; \
+		cmp /tmp/gammajoin-chaos-1.txt /tmp/gammajoin-chaos-2.txt || exit 1; \
+	done
+	@echo "chaos gate: OK"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
+	rm -f /tmp/gammajoin-chaos-1.txt /tmp/gammajoin-chaos-2.txt

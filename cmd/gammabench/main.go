@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gammajoin/internal/experiments"
+	"gammajoin/internal/fault"
 )
 
 func main() {
@@ -34,6 +35,13 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override workload seed (default 1989)")
 		timings = flag.Bool("t", false, "print wall-clock time per experiment")
 		plot    = flag.Bool("plot", false, "also render figure results as ASCII charts")
+
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (enables fault injection with any -fault-* rate)")
+		faultDisk  = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
+		faultNet   = flag.Float64("fault-net", 0, "network packet drop probability per remote packet")
+		faultDup   = flag.Float64("fault-dup", 0, "network packet duplication probability per remote packet")
+		faultMem   = flag.Float64("fault-mem", 0, "per-phase probability of a memory-budget change at the join sites")
+		faultCrash = flag.Float64("fault-crash", 0, "per-phase per-site crash probability (recovered by query restart)")
 	)
 	flag.Parse()
 
@@ -64,6 +72,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gammabench: -inner must not exceed -outer")
 		os.Exit(2)
 	}
+	if *faultDisk > 0 || *faultNet > 0 || *faultDup > 0 || *faultMem > 0 || *faultCrash > 0 {
+		cfg.Faults = &fault.Spec{
+			Seed:            *faultSeed,
+			DiskReadRate:    *faultDisk,
+			NetDropRate:     *faultNet,
+			NetDupRate:      *faultDup,
+			MemPressureRate: *faultMem,
+			CrashRate:       *faultCrash,
+		}
+	}
 
 	h := experiments.NewHarness(cfg)
 	fmt.Printf("joinABprime: %d-tuple outer ⋈ %d-tuple inner, %d disk sites",
@@ -71,7 +89,12 @@ func main() {
 	if cfg.Remote > 0 {
 		fmt.Printf(" (+%d diskless for remote runs)", cfg.Remote)
 	}
-	fmt.Printf(", seed %d\n\n", cfg.Seed)
+	fmt.Printf(", seed %d\n", cfg.Seed)
+	if f := cfg.Faults; f != nil {
+		fmt.Printf("faults: seed %d disk %.3g drop %.3g dup %.3g mem %.3g crash %.3g\n",
+			f.Seed, f.DiskReadRate, f.NetDropRate, f.NetDupRate, f.MemPressureRate, f.CrashRate)
+	}
+	fmt.Println()
 
 	var entries []experiments.Entry
 	if *exp == "all" {

@@ -10,10 +10,12 @@
 //	go run ./cmd/gammavet -determinism-pkgs internal/core -costcharge-pkgs "" ./...
 //
 // Analyzers are scoped: determinism applies to the simulator packages
-// (internal/core, internal/netsim, internal/cost, internal/disk by
-// default), costcharge to the execution engine (internal/core). Packages
-// outside both scopes are skipped. Exit status is 1 when any diagnostic is
-// reported and 2 on usage or load errors.
+// (internal/core, internal/netsim, internal/cost, internal/disk,
+// internal/fault by default), costcharge to the execution engine
+// (internal/core), and faultpoint to every package that could plausibly
+// touch the fault registry. Packages outside all scopes are skipped. Exit
+// status is 1 when any diagnostic is reported and 2 on usage or load
+// errors.
 package main
 
 import (
@@ -30,10 +32,13 @@ import (
 func main() {
 	var (
 		determinismPkgs = flag.String("determinism-pkgs",
-			"internal/core,internal/netsim,internal/cost,internal/disk",
+			"internal/core,internal/netsim,internal/cost,internal/disk,internal/fault",
 			"comma-separated package path suffixes checked by the determinism analyzer")
 		costchargePkgs = flag.String("costcharge-pkgs", "internal/core",
 			"comma-separated package path suffixes checked by the costcharge analyzer")
+		faultpointPkgs = flag.String("faultpoint-pkgs",
+			"internal/core,internal/disk,internal/netsim,internal/gamma,internal/wiss,internal/experiments",
+			"comma-separated package path suffixes checked by the faultpoint analyzer")
 		verbose = flag.Bool("v", false, "list analyzed packages")
 	)
 	flag.Parse()
@@ -49,6 +54,7 @@ func main() {
 	scopes := map[*analysis.Analyzer][]string{
 		analysis.Determinism: splitList(*determinismPkgs),
 		analysis.CostCharge:  splitList(*costchargePkgs),
+		analysis.FaultPoint:  splitList(*faultpointPkgs),
 	}
 
 	dirs, err := resolvePatterns(loader.ModRoot(), patterns)
@@ -64,7 +70,7 @@ func main() {
 			continue
 		}
 		var todo []*analysis.Analyzer
-		for _, a := range []*analysis.Analyzer{analysis.Determinism, analysis.CostCharge} {
+		for _, a := range []*analysis.Analyzer{analysis.Determinism, analysis.CostCharge, analysis.FaultPoint} {
 			if inScope(path, scopes[a]) {
 				todo = append(todo, a)
 			}

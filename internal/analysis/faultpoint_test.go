@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFaultPointSeededViolations(t *testing.T) {
+	RunTest(t, "testdata/faultpoint", FaultPoint)
+}

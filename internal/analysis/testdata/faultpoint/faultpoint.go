@@ -1,0 +1,39 @@
+// Package faultpoint seeds violations of the faultpoint analyzer against
+// the real fault.Registry API. This package's import path does not end in
+// any owning layer, so every decision method is off limits here unless a
+// directive justifies the call.
+package faultpoint
+
+import "gammajoin/internal/fault"
+
+// stolenDiskFault consumes a disk-read ordinal outside internal/disk.
+func stolenDiskFault(r *fault.Registry) int {
+	return r.ReadRetries(0, 1) // want `fault.Registry.ReadRetries consumed outside internal/disk`
+}
+
+// stolenNetFault decides a packet's fate outside internal/netsim.
+func stolenNetFault(r *fault.Registry) int {
+	re, du := r.PacketFate(0, 1, 2, 3) // want `fault.Registry.PacketFate consumed outside internal/netsim`
+	return re + du
+}
+
+// stolenMemFault reads the memory-pressure schedule outside internal/core.
+func stolenMemFault(r *fault.Registry) float64 {
+	return r.MemFactor(0) // want `fault.Registry.MemFactor consumed outside internal/core`
+}
+
+// stolenCrash polls the crash schedule outside internal/core.
+func stolenCrash(r *fault.Registry) bool {
+	_, ok := r.CrashSiteAt(0, []int{0}) // want `fault.Registry.CrashSiteAt consumed outside internal/core`
+	return ok
+}
+
+// justifiedProbe carries the directive, as a registry-probing test would.
+func justifiedProbe(r *fault.Registry) int {
+	return r.ReadRetries(0, 1) //gammavet:faultpoint probing the schedule directly
+}
+
+// specAccess is unrestricted: Spec carries no decision state.
+func specAccess(r *fault.Registry) fault.Spec {
+	return r.Spec()
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -171,35 +172,105 @@ type Report struct {
 	// inverse bounds multiuser throughput (queries/second) on this
 	// configuration.
 	BottleneckBusy time.Duration
+
+	// Recovery accounting (fault injection, docs/FAULTS.md). Restarts is
+	// how many attempts were abandoned to injected site crashes before
+	// this successful one; DeadSites lists the crashed sites in failure
+	// order; WastedWork is the simulated response time accumulated by the
+	// abandoned attempts (their phases ran for nothing). Response covers
+	// only the successful attempt.
+	Restarts   int
+	DeadSites  []int
+	WastedWork time.Duration
 }
 
 // FormingLocalFrac is the fraction of forming-phase tuples written locally.
 func (r *Report) FormingLocalFrac() float64 { return r.Forming.LocalFraction() }
 
+// ErrSiteFailed is the sentinel wrapped by every SiteFailure, so callers
+// can errors.Is(err, ErrSiteFailed) without knowing the concrete type.
+var ErrSiteFailed = errors.New("core: site failed")
+
+// SiteFailure reports an (injected) crash of one join site at a phase
+// boundary. Run catches it internally and restarts the query without the
+// site; it escapes Run only when no recovery is possible (no survivors,
+// restart budget exhausted) or from the non-join operators, which do not
+// restart.
+type SiteFailure struct {
+	Site  int    // site that died
+	Phase string // phase it was about to run
+}
+
+func (e *SiteFailure) Error() string {
+	return fmt.Sprintf("core: site %d failed entering phase %q", e.Site, e.Phase)
+}
+
+// Unwrap ties SiteFailure to the ErrSiteFailed sentinel.
+func (e *SiteFailure) Unwrap() error { return ErrSiteFailed }
+
 // Run executes the join described by spec on cluster c and returns its
 // report. The execution is real — every tuple is hashed, routed, and joined
 // — while response time comes from the cluster's cost model.
+//
+// When the cluster's fault registry injects a site crash, the attempt is
+// abandoned and the query restarts from scratch on the surviving join
+// sites (joins never mutate the base relations, so a fresh attempt is
+// always safe; a crashed site's disk is assumed to stay readable, per
+// Gamma's mirrored-disk storage organization — see docs/FAULTS.md). The
+// report of the successful attempt carries the restart count, the dead
+// sites, and the simulated time the abandoned attempts wasted.
 func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
-	rc, err := newRunCtx(c, &spec)
-	if err != nil {
-		return nil, err
+	var (
+		restarts int
+		dead     []int
+		wasted   time.Duration
+	)
+	for {
+		rc, err := newRunCtx(c, &spec)
+		if err != nil {
+			return nil, err
+		}
+		switch spec.Alg {
+		case SortMerge:
+			err = rc.runSortMerge()
+		case Simple:
+			err = rc.runSimple()
+		case Grace:
+			err = rc.runGrace()
+		case Hybrid:
+			err = rc.runHybrid()
+		default:
+			return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
+		}
+		var sf *SiteFailure
+		if errors.As(err, &sf) {
+			wasted += rc.q.Response()
+			restarts++
+			dead = append(dead, sf.Site)
+			if restarts > len(c.Sites) {
+				return nil, fmt.Errorf("core: giving up after %d restarts: %w", restarts, err)
+			}
+			var alive []int
+			for _, s := range rc.joinSites {
+				if s != sf.Site {
+					alive = append(alive, s)
+				}
+			}
+			if len(alive) == 0 {
+				return nil, fmt.Errorf("core: no join sites survive: %w", err)
+			}
+			spec.JoinSites = alive
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep := rc.report()
+		rep.Restarts = restarts
+		rep.DeadSites = dead
+		rep.WastedWork = wasted
+		return rep, nil
 	}
-	switch spec.Alg {
-	case SortMerge:
-		err = rc.runSortMerge()
-	case Simple:
-		err = rc.runSimple()
-	case Grace:
-		err = rc.runGrace()
-	case Hybrid:
-		err = rc.runHybrid()
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return rc.report(), nil
 }
 
 // memBytes resolves the aggregate join memory for the spec.

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gammajoin/internal/fault"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+)
+
+// faultSpec with every injector active at rates high enough to fire on the
+// small test workloads.
+func chaosSpec(seed uint64) fault.Spec {
+	return fault.Spec{
+		Seed:            seed,
+		DiskReadRate:    0.05,
+		NetDropRate:     0.05,
+		NetDupRate:      0.05,
+		MemPressureRate: 0.5,
+		MemShrinkFactor: 0.6,
+		MemGrowFactor:   1.4,
+		CrashRate:       0.2,
+		MaxCrashes:      1,
+	}
+}
+
+// TestAllAlgorithmsDeterministicWithFaults extends the determinism
+// regression to faulted configurations: two runs on identically configured
+// clusters with the same fault spec must agree on results and produce
+// bit-identical reports — the acceptance criterion of the fault layer.
+func TestAllAlgorithmsDeterministicWithFaults(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1989} {
+		var fired bool
+		for _, alg := range allAlgs {
+			run := func() *Report {
+				c := gamma.NewLocal(8, nil)
+				c.EnableFaults(chaosSpec(seed))
+				f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+				return runJoin(t, f, alg, 0.25, func(sp *Spec) {
+					sp.CollectResults = true
+					sp.BitFilter = true
+				})
+			}
+			a, b := run(), run()
+			if a.ResultCount != 400 {
+				t.Errorf("seed %d %v: result count %d, want 400", seed, alg, a.ResultCount)
+			}
+			if ca, cb := resultChecksum(a.Results), resultChecksum(b.Results); ca != cb {
+				t.Errorf("seed %d %v: result checksums differ: %016x vs %016x", seed, alg, ca, cb)
+			}
+			a.Results, b.Results = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("seed %d %v: faulted cost reports differ:\nrun1: %+v\nrun2: %+v", seed, alg, a, b)
+			}
+			if a.Disk.ReadRetries > 0 || a.Net.PacketsRetransmitted > 0 ||
+				a.Net.PacketsDuplicated > 0 || a.Restarts > 0 || a.ROverflowed > 0 {
+				fired = true
+			}
+		}
+		if !fired {
+			t.Errorf("seed %d: no fault fired across any algorithm — rates too low to test anything", seed)
+		}
+	}
+}
+
+// TestCrashRecoveryDuringBuild injects a scripted single-site crash at a
+// build-side phase of each algorithm and requires the join to finish
+// correctly via restart on the surviving sites — not a panic — with the
+// recovery visible in the report.
+func TestCrashRecoveryDuringBuild(t *testing.T) {
+	// Phase ordinals of an early/build phase per algorithm: Simple builds
+	// in phase 0; Hybrid partitions R (building bucket 1) in phase 0;
+	// Grace forms R and S first, so its first build phase is 2; sort-merge
+	// sorts R in phase 1.
+	buildPhase := map[Algorithm]int{Simple: 0, Hybrid: 0, Grace: 2, SortMerge: 1}
+	for _, alg := range allAlgs {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(fault.Spec{
+			Seed:  99,
+			Crash: &fault.CrashPoint{Phase: buildPhase[alg], Site: 3},
+		})
+		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+		rep := runJoin(t, f, alg, 0.25, nil)
+		if rep.ResultCount != 400 {
+			t.Errorf("%v: result count after crash recovery %d, want 400", alg, rep.ResultCount)
+		}
+		if rep.Restarts != 1 {
+			t.Errorf("%v: restarts = %d, want 1", alg, rep.Restarts)
+		}
+		if len(rep.DeadSites) != 1 || rep.DeadSites[0] != 3 {
+			t.Errorf("%v: dead sites = %v, want [3]", alg, rep.DeadSites)
+		}
+		if buildPhase[alg] > 0 && rep.WastedWork <= 0 {
+			t.Errorf("%v: crash after phase %d wasted no work", alg, buildPhase[alg])
+		}
+		if buildPhase[alg] == 0 && rep.WastedWork != 0 {
+			t.Errorf("%v: crash before any phase wasted %v", alg, rep.WastedWork)
+		}
+	}
+}
+
+// TestCrashWithoutRecoveryPropagates: when every join site dies, Run must
+// return an error wrapping ErrSiteFailed — never panic.
+func TestCrashWithoutRecoveryPropagates(t *testing.T) {
+	c := gamma.NewLocal(1, nil)
+	c.EnableFaults(fault.Spec{Seed: 5, Crash: &fault.CrashPoint{Phase: 0, Site: 0}})
+	f := mkFixture(t, c, 1000, gamma.HashPart, tuple.Unique1)
+	_, err := Run(f.c, Spec{
+		Alg: Simple, R: f.r, S: f.s,
+		RAttr: tuple.Unique1, SAttr: tuple.Unique1, MemRatio: 1.0,
+	})
+	if !errors.Is(err, ErrSiteFailed) {
+		t.Fatalf("err = %v, want ErrSiteFailed", err)
+	}
+	var sf *SiteFailure
+	if !errors.As(err, &sf) || sf.Site != 0 {
+		t.Fatalf("err = %v, want SiteFailure at site 0", err)
+	}
+}
+
+// TestMemoryPressureDemotesToOverflow: with pressure guaranteed every
+// phase and both factors below 1 every event shrinks, so a join that fits
+// memory exactly must demote tuples to overflow files — and still produce
+// the right answer.
+func TestMemoryPressureDemotesToOverflow(t *testing.T) {
+	for _, alg := range []Algorithm{Simple, Grace, Hybrid} {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(fault.Spec{
+			Seed:            11,
+			MemPressureRate: 1,
+			MemShrinkFactor: 0.4,
+			MemGrowFactor:   0.4,
+		})
+		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+		rep := runJoin(t, f, alg, 1.0, func(sp *Spec) { sp.AllowOverflow = true })
+		if rep.ResultCount != 400 {
+			t.Errorf("%v: result count under memory pressure %d, want 400", alg, rep.ResultCount)
+		}
+		if rep.ROverflowed == 0 {
+			t.Errorf("%v: shrink to 40%% demoted no inner tuples to overflow", alg)
+		}
+		if rep.OverflowClears == 0 {
+			t.Errorf("%v: shrink performed no clearing passes", alg)
+		}
+	}
+}
+
+// TestDiskFaultAccounting: transient read errors must leave the join
+// result untouched while surfacing in the retry counter and making the
+// run strictly slower than its fault-free twin.
+func TestDiskFaultAccounting(t *testing.T) {
+	run := func(rate float64) *Report {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(fault.Spec{Seed: 21, DiskReadRate: rate})
+		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+		return runJoin(t, f, Grace, 0.25, nil)
+	}
+	clean, faulty := run(0), run(0.1)
+	if faulty.ResultCount != clean.ResultCount {
+		t.Errorf("result count changed under disk faults: %d vs %d", faulty.ResultCount, clean.ResultCount)
+	}
+	if faulty.Disk.ReadRetries == 0 {
+		t.Error("10% read-fault rate produced no retries")
+	}
+	if clean.Disk.ReadRetries != 0 {
+		t.Errorf("fault-free run recorded %d retries", clean.Disk.ReadRetries)
+	}
+	if faulty.Response <= clean.Response {
+		t.Errorf("retries did not cost time: faulty %v <= clean %v", faulty.Response, clean.Response)
+	}
+}
+
+// TestNetFaultAccounting: dropped and duplicated packets must not change
+// the join result, only the retransmission/duplication counters and the
+// response time. The workload is partitioned round-robin so the joins
+// cannot short-circuit the network.
+func TestNetFaultAccounting(t *testing.T) {
+	run := func(rate float64) *Report {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(fault.Spec{Seed: 22, NetDropRate: rate, NetDupRate: rate})
+		f := mkFixture(t, c, 4000, gamma.RoundRobin, tuple.Unique1)
+		return runJoin(t, f, Hybrid, 0.25, nil)
+	}
+	clean, faulty := run(0), run(0.1)
+	if faulty.ResultCount != clean.ResultCount {
+		t.Errorf("result count changed under net faults: %d vs %d", faulty.ResultCount, clean.ResultCount)
+	}
+	if faulty.Net.PacketsRetransmitted == 0 || faulty.Net.PacketsDuplicated == 0 {
+		t.Errorf("10%% drop/dup rates fired nothing: %+v", faulty.Net)
+	}
+	if clean.Net.PacketsRetransmitted != 0 || clean.Net.PacketsDuplicated != 0 {
+		t.Errorf("fault-free run recorded fault traffic: %+v", clean.Net)
+	}
+	if faulty.Response <= clean.Response {
+		t.Errorf("retransmissions did not cost time: faulty %v <= clean %v", faulty.Response, clean.Response)
+	}
+	if faulty.Net.BytesOnWire <= clean.Net.BytesOnWire {
+		t.Errorf("retransmissions put no extra bytes on the wire")
+	}
+}

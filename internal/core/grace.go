@@ -40,12 +40,22 @@ func (rc *runCtx) runGrace() error {
 		return err
 	}
 
-	rb := rc.makeBucketFiles("grace.r", 0, nb)
-	sb := rc.makeBucketFiles("grace.s", 0, nb)
+	rb, err := rc.makeBucketFiles("grace.r", 0, nb)
+	if err != nil {
+		return err
+	}
+	sb, err := rc.makeBucketFiles("grace.s", 0, nb)
+	if err != nil {
+		return err
+	}
 	ff := rc.makeFormingFilters(0, nb)
 
-	rc.formPhase("form R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, pt, rb, 0, ff, true)
-	rc.formPhase("form S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, pt, sb, 0, ff, false)
+	if err := rc.formPhase("form R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, pt, rb, 0, ff, true); err != nil {
+		return err
+	}
+	if err := rc.formPhase("form S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, pt, sb, 0, ff, false); err != nil {
+		return err
+	}
 
 	for _, group := range rc.bucketGroups(rb, nb) {
 		var rsrc, ssrc []fileAt
@@ -163,15 +173,19 @@ func (rc *runCtx) makeFormingFilters(first, n int) []map[int]*bitfilter.Filter {
 
 // makeBucketFiles creates one temporary bucket-fragment file per (bucket,
 // disk site) for buckets in [first, n).
-func (rc *runCtx) makeBucketFiles(name string, first, n int) []map[int]*wiss.File {
+func (rc *runCtx) makeBucketFiles(name string, first, n int) ([]map[int]*wiss.File, error) {
 	files := make([]map[int]*wiss.File, n)
 	for b := first; b < n; b++ {
 		files[b] = make(map[int]*wiss.File, len(rc.diskSites))
 		for _, ds := range rc.diskSites {
-			files[b][ds] = rc.newTempFile(fmt.Sprintf("%s.b%d", name, b), ds)
+			f, err := rc.newTempFile(fmt.Sprintf("%s.b%d", name, b), ds)
+			if err != nil {
+				return nil, err
+			}
+			files[b][ds] = f
 		}
 	}
-	return files
+	return files, nil
 }
 
 // bucketSources lists the non-empty fragments of one bucket.
@@ -193,7 +207,7 @@ func (rc *runCtx) bucketSources(files []map[int]*wiss.File, b int) []fileAt {
 // before the disk write.
 func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.Pred, pt *split.PartTable,
 	buckets []map[int]*wiss.File, firstDiskBucket int,
-	formFilters []map[int]*bitfilter.Filter, building bool) {
+	formFilters []map[int]*bitfilter.Filter, building bool) error {
 	ps := phaseSpec{
 		name:    name,
 		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
@@ -248,5 +262,5 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 			}
 		}
 	}
-	rc.runPhase(ps)
+	return rc.runPhase(ps)
 }

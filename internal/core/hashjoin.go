@@ -46,8 +46,7 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, rsrc, ssrc []fileAt, seed u
 		// can split it — rehashing cannot help. Fall back to a chunked
 		// block join of the stuck partitions, which always terminates.
 		if cur := totalTuples(rsrc); cur == prevR && level > 0 {
-			rc.blockJoinLevel(fmt.Sprintf("%s block join L%d", prefix, level+base), rsrc, ssrc)
-			return nil
+			return rc.blockJoinLevel(fmt.Sprintf("%s block join L%d", prefix, level+base), rsrc, ssrc)
 		} else {
 			prevR = cur
 		}
@@ -59,7 +58,10 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, rsrc, ssrc []fileAt, seed u
 		if level == 0 {
 			rp, sp = rPred, sPred
 		}
-		rover, sover := rc.joinLevel(name, rsrc, ssrc, seed+uint64(level), rp, sp)
+		rover, sover, err := rc.joinLevel(name, rsrc, ssrc, seed+uint64(level), rp, sp)
+		if err != nil {
+			return err
+		}
 		if len(rover) > 0 && level+base+1 > rc.overflowLevels {
 			rc.overflowLevels = level + base + 1
 		}
@@ -83,7 +85,7 @@ func totalTuples(src []fileAt) int64 {
 // against each chunk. Inner and outer overflow files with the same index
 // were routed by the same hash and cutoff, so pairing them site by site is
 // exhaustive and exact.
-func (rc *runCtx) blockJoinLevel(name string, rsrc, ssrc []fileAt) {
+func (rc *runCtx) blockJoinLevel(name string, rsrc, ssrc []fileAt) error {
 	// Pair outer sources with inner sources by file order: joinLevel
 	// emits them in matching join-site order; unmatched outer files have
 	// no inner partner and produce nothing.
@@ -140,13 +142,13 @@ func (rc *runCtx) blockJoinLevel(name string, rsrc, ssrc []fileAt) {
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	rc.runPhase(ps)
+	return rc.runPhase(ps)
 }
 
 // joinLevel runs one build+probe pass over the given source files and
 // returns the overflow files feeding the next level (empty when the inner
 // fit in memory everywhere).
-func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred, sPred pred.Pred) (rover, sover []fileAt) {
+func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred, sPred pred.Pred) (rover, sover []fileAt, err error) {
 	jt := &split.JoinTable{Sites: rc.joinSites}
 
 	tables := make(map[int]*gamma.HashTable, len(rc.joinSites))
@@ -162,8 +164,12 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 			filters[j] = bitfilter.New(rc.filterBits)
 		}
 		home := rc.c.OverflowDiskSite(j)
-		roverF[j] = rc.newTempFile(name+".rover", home)
-		soverF[j] = rc.newTempFile(name+".sover", home)
+		if roverF[j], err = rc.newTempFile(name+".rover", home); err != nil {
+			return nil, nil, err
+		}
+		if soverF[j], err = rc.newTempFile(name+".sover", home); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// ---- build phase: redistribute the inner source files ----
@@ -221,11 +227,14 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 					}
 				}
 			}
+			rc.applyMemPressure(a, snd, j, tbl)
 			rc.overflowClears.Add(int64(tbl.Overflows()))
 		}
 	}
 	rc.addOverflowWriters(build.write, roverF, tagROverBase)
-	rc.runPhase(build)
+	if err := rc.runPhase(build); err != nil {
+		return nil, nil, err
+	}
 
 	// Cutoffs are published to the scheduler at the phase barrier and
 	// embedded in the split table used for the outer relation (the h'
@@ -301,7 +310,9 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	rc.runPhase(probe)
+	if err := rc.runPhase(probe); err != nil {
+		return nil, nil, err
+	}
 
 	// Keep rover[i] and sover[i] paired by join site (an S overflow can
 	// only exist where an R overflow activated the cutoff, so pairing on
@@ -314,7 +325,7 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 			sover = append(sover, fileAt{site: home, f: soverF[j]})
 		}
 	}
-	return rover, sover
+	return rover, sover, nil
 }
 
 // addOverflowWriters installs one writer per disk site that appends batches

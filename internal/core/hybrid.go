@@ -41,11 +41,21 @@ func (rc *runCtx) runHybrid() error {
 			filters[j] = bitfilter.New(rc.filterBits)
 		}
 		home := rc.c.OverflowDiskSite(j)
-		roverF[j] = rc.newTempFile("hybrid.rover", home)
-		soverF[j] = rc.newTempFile("hybrid.sover", home)
+		if roverF[j], err = rc.newTempFile("hybrid.rover", home); err != nil {
+			return err
+		}
+		if soverF[j], err = rc.newTempFile("hybrid.sover", home); err != nil {
+			return err
+		}
 	}
-	rb := rc.makeBucketFiles("hybrid.r", 1, nb)
-	sb := rc.makeBucketFiles("hybrid.s", 1, nb)
+	rb, err := rc.makeBucketFiles("hybrid.r", 1, nb)
+	if err != nil {
+		return err
+	}
+	sb, err := rc.makeBucketFiles("hybrid.s", 1, nb)
+	if err != nil {
+		return err
+	}
 	ff := rc.makeFormingFilters(1, nb)
 
 	// ---- phase 1: partition R, building bucket 1 in memory ----
@@ -104,11 +114,14 @@ func (rc *runCtx) runHybrid() error {
 					}
 				}
 			}
+			rc.applyMemPressure(a, snd, j, tbl)
 			rc.overflowClears.Add(int64(tbl.Overflows()))
 		}
 	}, rb, ff, true)
 	rc.addOverflowWriters(partR.write, roverF, tagROverBase)
-	rc.runPhase(partR)
+	if err := rc.runPhase(partR); err != nil {
+		return err
+	}
 
 	cutoffs := make(map[int]uint64, len(tables))
 	for _, j := range rc.joinSites {
@@ -187,7 +200,9 @@ func (rc *runCtx) runHybrid() error {
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	rc.runPhase(partS)
+	if err := rc.runPhase(partS); err != nil {
+		return err
+	}
 
 	// ---- phases 3..: join the on-disk buckets ----
 	for b := 1; b < nb; b++ {

@@ -142,7 +142,8 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 		ps.consume[ds] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
 			d, err := c.Disk(ds)
 			if err != nil {
-				panic("core: select store on diskless site")
+				rc.fail(fmt.Errorf("core: select store: %w", err))
+				return
 			}
 			n := 0
 			for _, b := range batches {
@@ -162,7 +163,9 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 			}
 		}
 	}
-	rc.runPhase(ps)
+	if err := rc.runPhase(ps); err != nil {
+		return nil, nil, err
+	}
 	return rc.opReport(total), collected, nil
 }
 
@@ -389,7 +392,9 @@ func RunAggregate(c *gamma.Cluster, s AggSpec) (*OpReport, []AggGroup, error) {
 			mu.Unlock()
 		}
 	}
-	rc.runPhase(ps)
+	if err := rc.runPhase(ps); err != nil {
+		return nil, nil, err
+	}
 
 	groups := make([]AggGroup, 0, len(finals))
 	for g, p := range finals {

@@ -59,6 +59,9 @@ type runCtx struct {
 	chainMu     sync.Mutex
 	chainBySite map[int]chainStat
 
+	errMu    sync.Mutex
+	firstErr error
+
 	resMu   sync.Mutex
 	results []tuple.Joined
 
@@ -84,8 +87,26 @@ func newRunCtx(c *gamma.Cluster, spec *Spec) (*runCtx, error) {
 	}
 	if spec.Alg == SortMerge {
 		// Our sort-merge cannot use diskless processors (Section 3.1):
-		// joins always run on the sites holding the sorted fragments.
+		// joins always run on the sites holding the sorted fragments. An
+		// explicit JoinSites list (the recovery path excluding a dead
+		// site) filters the disk sites; a list naming only diskless sites
+		// falls back to all disk sites, as before.
 		js = c.DiskSites()
+		if len(spec.JoinSites) > 0 {
+			allowed := make(map[int]bool, len(spec.JoinSites))
+			for _, s := range spec.JoinSites {
+				allowed[s] = true
+			}
+			var kept []int
+			for _, s := range js {
+				if allowed[s] {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) > 0 {
+				js = kept
+			}
+		}
 	}
 	for _, s := range js {
 		if s < 0 || s >= len(c.Sites) {
@@ -242,6 +263,46 @@ func (rc *runCtx) noteChains(site int, ht *gamma.HashTable) {
 	rc.chainMu.Unlock()
 }
 
+// fail records the first error raised by a phase worker; runPhase returns
+// it at the phase barrier so callers see a clean, ordered failure instead
+// of a panic from inside a goroutine.
+func (rc *runCtx) fail(err error) {
+	if err == nil {
+		return
+	}
+	rc.errMu.Lock()
+	if rc.firstErr == nil {
+		rc.firstErr = err
+	}
+	rc.errMu.Unlock()
+}
+
+func (rc *runCtx) takeErr() error {
+	rc.errMu.Lock()
+	defer rc.errMu.Unlock()
+	return rc.firstErr
+}
+
+// applyMemPressure consults the fault registry for a mid-build change of
+// the join-memory budget (the per-phase shrink/grow factor applies to
+// every join site, modelling a change in the aggregate allocation) and
+// resizes site j's hash table accordingly. Tuples evicted by a shrink are
+// demoted to the site's overflow file exactly like capacity evictions, so
+// the existing overflow-resolution levels absorb them; the lowered cutoff
+// is published to the outer-relation split table at the phase barrier as
+// usual. Call after the build consumer has drained its batches and before
+// the phase ends.
+func (rc *runCtx) applyMemPressure(a *cost.Acct, snd *netsim.Sender, j int, tbl *gamma.HashTable) {
+	f := rc.c.Faults.MemFactor(len(rc.q.Phases))
+	if f == 1 {
+		return
+	}
+	for _, ev := range tbl.Resize(a, int64(float64(rc.tableCap())*f)) {
+		rc.rOverflowed.Add(1)
+		snd.Send(rc.c.OverflowDiskSite(j), tagROverBase+j, ev, 0)
+	}
+}
+
 // scanPred charges and evaluates an optional scan predicate; a nil
 // predicate always passes for free.
 func (rc *runCtx) scanPred(a *cost.Acct, p pred.Pred, t *tuple.Tuple) bool {
@@ -259,13 +320,13 @@ type fileAt struct {
 }
 
 // newTempFile creates a temporary file on a disk site's disk.
-func (rc *runCtx) newTempFile(name string, site int) *wiss.File {
+func (rc *runCtx) newTempFile(name string, site int) (*wiss.File, error) {
 	d, err := rc.c.Disk(site)
 	if err != nil {
-		panic(fmt.Sprintf("core: temp file on diskless site %d", site))
+		return nil, fmt.Errorf("core: temp file %q: %w", name, err)
 	}
 	rc.fileSeq++
-	return wiss.NewFile(fmt.Sprintf("%s#%d", name, rc.fileSeq), d, rc.m)
+	return wiss.NewFile(fmt.Sprintf("%s#%d", name, rc.fileSeq), d, rc.m), nil
 }
 
 // producerFn produces tuples into the phase's first exchange via snd.
@@ -322,7 +383,16 @@ func sortedKeys[V any](m map[int]V) []int {
 // runPhase executes one phase: solo workers and producers run first-stage,
 // consumers drain the first exchange (and may emit to the second), writers
 // drain the second exchange.
-func (rc *runCtx) runPhase(ps phaseSpec) {
+func (rc *runCtx) runPhase(ps phaseSpec) error {
+	// Injected site crashes surface at the phase boundary — Gamma's
+	// scheduler notices a dead operator process when it tries to start the
+	// next phase's operators there. Aborting before any goroutine is
+	// launched keeps the failure clean: no partial phase charges, no
+	// leaked workers, and the query's phase list still matches what
+	// actually ran. The runner (Run) restarts without the dead site.
+	if site, ok := rc.c.Faults.CrashSiteAt(len(rc.q.Phases), rc.joinSites); ok {
+		return &SiteFailure{Site: site, Phase: ps.name}
+	}
 	p := rc.q.NewPhase(ps.name)
 	ex1 := rc.c.NewExchange()
 	ex2 := rc.c.NewExchange()
@@ -389,6 +459,7 @@ func (rc *runCtx) runPhase(ps phaseSpec) {
 		ps.end.Producers = len(ps.produce)
 	}
 	p.End(ps.end)
+	return rc.takeErr()
 }
 
 // emitResult counts, optionally collects, and optionally routes one result
@@ -424,7 +495,8 @@ func (e *resultEmitter) emit(a *cost.Acct, inner, outer *tuple.Tuple) {
 func (rc *runCtx) storeWriter(site int, a *cost.Acct, batches []*netsim.Batch) {
 	d, err := rc.c.Disk(site)
 	if err != nil {
-		panic("core: store writer on diskless site")
+		rc.fail(fmt.Errorf("core: store writer: %w", err))
+		return
 	}
 	perPage := rc.m.P.PageBytes / tuple.JoinedBytes
 	if perPage < 1 {

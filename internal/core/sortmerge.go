@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"gammajoin/internal/bitfilter"
@@ -21,7 +22,12 @@ import (
 // relation arrives and applied to the outer relation before it is stored —
 // eliminated tuples are never written, sorted, or merged.
 func (rc *runCtx) runSortMerge() error {
-	sites := rc.diskSites
+	// Join sites are the disk sites, minus any excluded by a recovery
+	// restart (newRunCtx intersects JoinSites with the disk sites). A
+	// dead site keeps serving reads of its base fragments and the result
+	// store — its storage role survives on the mirrored disks — but no
+	// longer sorts or merges.
+	sites := rc.joinSites
 	jt := &split.JoinTable{Sites: sites}
 	memPerSite := rc.memTotal / int64(len(sites))
 	if memPerSite < int64(rc.m.P.PageBytes) {
@@ -36,24 +42,41 @@ func (rc *runCtx) runSortMerge() error {
 	if rc.spec.BitFilter {
 		filters = make(map[int]*bitfilter.Filter, len(sites))
 	}
+	var err error
 	for _, s := range sites {
-		tmpR[s] = rc.newTempFile("sm.tmpR", s)
-		srtR[s] = rc.newTempFile("sm.srtR", s)
-		tmpS[s] = rc.newTempFile("sm.tmpS", s)
-		srtS[s] = rc.newTempFile("sm.srtS", s)
+		if tmpR[s], err = rc.newTempFile("sm.tmpR", s); err != nil {
+			return err
+		}
+		if srtR[s], err = rc.newTempFile("sm.srtR", s); err != nil {
+			return err
+		}
+		if tmpS[s], err = rc.newTempFile("sm.tmpS", s); err != nil {
+			return err
+		}
+		if srtS[s], err = rc.newTempFile("sm.srtS", s); err != nil {
+			return err
+		}
 		if filters != nil {
 			filters[s] = bitfilter.New(rc.filterBits)
 		}
 	}
 
-	// Partition R across the disk sites, building per-site bit filters.
-	rc.smPartition("partition R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, jt, tmpR, filters, true)
-	rc.sortPhase("sort R", tmpR, srtR, rc.spec.RAttr, memPerSite, &rc.sortPassesR)
+	// Partition R across the join sites, building per-site bit filters.
+	if err := rc.smPartition("partition R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, jt, tmpR, filters, true); err != nil {
+		return err
+	}
+	if err := rc.sortPhase("sort R", tmpR, srtR, rc.spec.RAttr, memPerSite, &rc.sortPassesR); err != nil {
+		return err
+	}
 
 	// Partition S; the filter eliminates non-joining tuples before they
 	// are written to disk.
-	rc.smPartition("partition S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, jt, tmpS, filters, false)
-	rc.sortPhase("sort S", tmpS, srtS, rc.spec.SAttr, memPerSite, &rc.sortPassesS)
+	if err := rc.smPartition("partition S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, jt, tmpS, filters, false); err != nil {
+		return err
+	}
+	if err := rc.sortPhase("sort S", tmpS, srtS, rc.spec.SAttr, memPerSite, &rc.sortPassesS); err != nil {
+		return err
+	}
 
 	// Local merge join in parallel across the disk sites.
 	merge := phaseSpec{
@@ -73,8 +96,7 @@ func (rc *runCtx) runSortMerge() error {
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	rc.runPhase(merge)
-	return nil
+	return rc.runPhase(merge)
 }
 
 // smPartition redistributes one relation through the joining split table
@@ -82,7 +104,7 @@ func (rc *runCtx) runSortMerge() error {
 // filters are populated from the arriving tuples; otherwise arriving tuples
 // are tested against the local filter and dropped on a miss.
 func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred.Pred, jt *split.JoinTable,
-	tmp map[int]*wiss.File, filters map[int]*bitfilter.Filter, building bool) {
+	tmp map[int]*wiss.File, filters map[int]*bitfilter.Filter, building bool) error {
 	ps := phaseSpec{
 		name:    name,
 		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
@@ -103,7 +125,7 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 			})
 		})
 	}
-	for _, s := range rc.diskSites {
+	for _, s := range sortedKeys(tmp) {
 		s := s
 		ps.consume[s] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
 			f := tmp[s]
@@ -135,7 +157,7 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 			}
 		}
 	}
-	rc.runPhase(ps)
+	return rc.runPhase(ps)
 }
 
 type localRemote struct{ local, remote int64 }
@@ -155,15 +177,16 @@ func b2Local(batches []*netsim.Batch) localRemote {
 // sortPhase sorts every site's temporary file in parallel and records the
 // maximum number of merge passes across the sites.
 func (rc *runCtx) sortPhase(name string, src, dst map[int]*wiss.File, attr int,
-	memPerSite int64, passes *int) {
+	memPerSite int64, passes *int) error {
 	var mu sync.Mutex
 	ps := phaseSpec{name: name, solo: map[int][]func(a *cost.Acct){}}
-	for _, s := range rc.diskSites {
+	for _, s := range sortedKeys(src) {
 		s := s
 		ps.solo[s] = append(ps.solo[s], func(a *cost.Acct) {
 			st, err := wiss.Sort(a, src[s], dst[s], attr, memPerSite)
 			if err != nil {
-				panic(err) // destination files are freshly created
+				rc.fail(fmt.Errorf("core: %s at site %d: %w", name, s, err))
+				return
 			}
 			mu.Lock()
 			if st.MergePasses > *passes {
@@ -172,7 +195,7 @@ func (rc *runCtx) sortPhase(name string, src, dst map[int]*wiss.File, attr int,
 			mu.Unlock()
 		})
 	}
-	rc.runPhase(ps)
+	return rc.runPhase(ps)
 }
 
 // mergeJoinSite merge-joins the two sorted local files, grouping duplicate

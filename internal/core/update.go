@@ -55,7 +55,9 @@ func RunUpdate(c *gamma.Cluster, s UpdateSpec) (*OpReport, error) {
 				func(t *tuple.Tuple) { t.SetInt(s.SetAttr, s.SetVal) })
 		})
 	}
-	rc.runPhase(ps)
+	if err := rc.runPhase(ps); err != nil {
+		return nil, err
+	}
 	var total int64
 	for _, n := range counts {
 		total += *n
@@ -168,11 +170,14 @@ func RunIndexSelect(c *gamma.Cluster, ix *gamma.Index, p pred.Pred, collect bool
 				return true
 			})
 			if err != nil {
-				panic(err) // sites come from the index itself
+				rc.fail(fmt.Errorf("core: index select at site %d: %w", site, err))
+				return
 			}
 		})
 	}
-	rc.runPhase(ps)
+	if err := rc.runPhase(ps); err != nil {
+		return nil, nil, err
+	}
 	var total int64
 	for _, site := range ix.Rel.FragmentSites() {
 		total += *counts[site]

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
 )
 
 // Disk is one simulated disk drive.
@@ -22,8 +23,28 @@ type Disk struct {
 
 	pagesRead    atomic.Int64
 	pagesWritten atomic.Int64
+	readRetries  atomic.Int64
 	switches     atomic.Int64
 	lastFile     atomic.Int64
+
+	faults *fault.Registry
+}
+
+// SetFaults attaches a fault registry; page reads consult it for transient
+// failures. Must be called before the disk is shared between goroutines
+// (gamma.Cluster.EnableFaults does this at cluster setup).
+func (d *Disk) SetFaults(r *fault.Registry) { d.faults = r }
+
+// retryFaults rolls for transient read errors and charges each retry as a
+// fresh random access (the arm has lost its streaming position, so the
+// re-read pays a seek).
+func (d *Disk) retryFaults(a *cost.Acct, fileID int64) {
+	n := d.faults.ReadRetries(d.id, fileID)
+	for i := 0; i < n; i++ {
+		d.readRetries.Add(1)
+		d.pagesRead.Add(1)
+		a.AddDisk(d.model.RandPage)
+	}
 }
 
 // New returns a disk with the given id using cost model m.
@@ -51,6 +72,7 @@ func (d *Disk) ReadSeq(a *cost.Acct, fileID int64) {
 	d.switchPenalty(a, fileID)
 	d.pagesRead.Add(1)
 	a.AddDisk(d.model.SeqPage)
+	d.retryFaults(a, fileID)
 }
 
 // ReadRand charges one random page read.
@@ -58,6 +80,7 @@ func (d *Disk) ReadRand(a *cost.Acct, fileID int64) {
 	d.lastFile.Store(fileID)
 	d.pagesRead.Add(1)
 	a.AddDisk(d.model.RandPage)
+	d.retryFaults(a, fileID)
 }
 
 // WritePage charges one streaming page write.
@@ -71,6 +94,7 @@ func (d *Disk) WritePage(a *cost.Acct, fileID int64) {
 type Counters struct {
 	PagesRead    int64
 	PagesWritten int64
+	ReadRetries  int64
 	FileSwitches int64
 }
 
@@ -79,6 +103,7 @@ func (d *Disk) Counters() Counters {
 	return Counters{
 		PagesRead:    d.pagesRead.Load(),
 		PagesWritten: d.pagesWritten.Load(),
+		ReadRetries:  d.readRetries.Load(),
 		FileSwitches: d.switches.Load(),
 	}
 }
@@ -88,6 +113,7 @@ func (c Counters) Sub(o Counters) Counters {
 	return Counters{
 		PagesRead:    c.PagesRead - o.PagesRead,
 		PagesWritten: c.PagesWritten - o.PagesWritten,
+		ReadRetries:  c.ReadRetries - o.ReadRetries,
 		FileSwitches: c.FileSwitches - o.FileSwitches,
 	}
 }
@@ -97,6 +123,7 @@ func (c Counters) Add(o Counters) Counters {
 	return Counters{
 		PagesRead:    c.PagesRead + o.PagesRead,
 		PagesWritten: c.PagesWritten + o.PagesWritten,
+		ReadRetries:  c.ReadRetries + o.ReadRetries,
 		FileSwitches: c.FileSwitches + o.FileSwitches,
 	}
 }

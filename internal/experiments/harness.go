@@ -15,6 +15,7 @@ import (
 
 	"gammajoin/internal/core"
 	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/pred"
 	"gammajoin/internal/tuple"
@@ -30,6 +31,12 @@ type Config struct {
 	Remote int // diskless join processors in the remote configuration (paper: 8)
 	Seed   uint64
 	Model  *cost.Model
+
+	// Faults, when non-nil, enables deterministic fault injection on every
+	// cluster the harness builds (see docs/FAULTS.md). The schedule is part
+	// of the configuration: two harnesses with equal Config produce
+	// bit-identical reports, faults and all.
+	Faults *fault.Spec
 }
 
 // DefaultConfig returns the paper's configuration: 100k x 10k tuples on 8
@@ -119,6 +126,9 @@ func (h *Harness) cluster(remote bool) *gamma.Cluster {
 		c = gamma.NewRemote(h.cfg.Disks, h.cfg.Remote, h.cfg.Model)
 	} else {
 		c = gamma.NewLocal(h.cfg.Disks, h.cfg.Model)
+	}
+	if h.cfg.Faults != nil {
+		c.EnableFaults(*h.cfg.Faults)
 	}
 	h.clusters[remote] = c
 	return c

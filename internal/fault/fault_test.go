@@ -1,0 +1,126 @@
+package fault
+
+import "testing"
+
+// TestNilRegistryInjectsNothing: a nil registry must be a safe no-op so
+// components can hold one unconditionally.
+func TestNilRegistryInjectsNothing(t *testing.T) {
+	var r *Registry
+	if got := r.ReadRetries(3, 7); got != 0 {
+		t.Errorf("nil ReadRetries = %d, want 0", got)
+	}
+	if re, du := r.PacketFate(0, 1, 2, 3); re != 0 || du != 0 {
+		t.Errorf("nil PacketFate = (%d,%d), want (0,0)", re, du)
+	}
+	if f := r.MemFactor(0); f != 1 {
+		t.Errorf("nil MemFactor = %v, want 1", f)
+	}
+	if _, ok := r.CrashSiteAt(0, []int{0, 1}); ok {
+		t.Error("nil CrashSiteAt reported a crash")
+	}
+	if s := r.Spec(); s != (Spec{}) {
+		t.Errorf("nil Spec = %+v, want zero", s)
+	}
+}
+
+// TestSameSpecSameSchedule: two registries built from the same spec must
+// hand out identical decisions for identical operation sequences.
+func TestSameSpecSameSchedule(t *testing.T) {
+	spec := Spec{
+		Seed:            42,
+		DiskReadRate:    0.3,
+		NetDropRate:     0.2,
+		NetDupRate:      0.2,
+		MemPressureRate: 0.5,
+		CrashRate:       0.1,
+		MaxCrashes:      4,
+	}
+	a, b := NewRegistry(spec), NewRegistry(spec)
+	sites := []int{0, 1, 2, 3}
+	for i := 0; i < 200; i++ {
+		if ra, rb := a.ReadRetries(i%4, int64(i%7)), b.ReadRetries(i%4, int64(i%7)); ra != rb {
+			t.Fatalf("op %d: ReadRetries %d vs %d", i, ra, rb)
+		}
+		ra, da := a.PacketFate(i%4, (i+1)%4, i%3, int64(i))
+		rb, db := b.PacketFate(i%4, (i+1)%4, i%3, int64(i))
+		if ra != rb || da != db {
+			t.Fatalf("op %d: PacketFate (%d,%d) vs (%d,%d)", i, ra, da, rb, db)
+		}
+		if fa, fb := a.MemFactor(i), b.MemFactor(i); fa != fb {
+			t.Fatalf("phase %d: MemFactor %v vs %v", i, fa, fb)
+		}
+		sa, oka := a.CrashSiteAt(i, sites)
+		sb, okb := b.CrashSiteAt(i, sites)
+		if sa != sb || oka != okb {
+			t.Fatalf("phase %d: CrashSiteAt (%d,%v) vs (%d,%v)", i, sa, oka, sb, okb)
+		}
+	}
+}
+
+// TestReadRetriesBounded: retries never exceed DiskMaxRetries even at a
+// 100% failure rate, and with rate 1 every read maxes out.
+func TestReadRetriesBounded(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 1, DiskReadRate: 1, DiskMaxRetries: 2})
+	for i := 0; i < 50; i++ {
+		if got := r.ReadRetries(0, 9); got != 2 {
+			t.Fatalf("read %d: retries = %d, want 2", i, got)
+		}
+	}
+}
+
+// TestReadRetriesConsumeOrdinals: consecutive reads of the same file roll
+// fresh dice — at a middling rate the outcomes must not all be identical.
+func TestReadRetriesConsumeOrdinals(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 7, DiskReadRate: 0.5})
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[r.ReadRetries(1, 5)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 reads at rate 0.5 produced a single outcome %v", seen)
+	}
+}
+
+// TestCrashBudget: MaxCrashes bounds the total number of crashes.
+func TestCrashBudget(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 3, CrashRate: 1, MaxCrashes: 2})
+	n := 0
+	for phase := 0; phase < 10; phase++ {
+		if _, ok := r.CrashSiteAt(phase, []int{0, 1, 2}); ok {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("crashes = %d, want 2 (budget)", n)
+	}
+}
+
+// TestTargetedCrash: a CrashPoint fires exactly once, at its phase and
+// site, and only when the site participates.
+func TestTargetedCrash(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 9, Crash: &CrashPoint{Phase: 2, Site: 5}})
+	if _, ok := r.CrashSiteAt(0, []int{0, 5}); ok {
+		t.Error("crashed at wrong phase")
+	}
+	if _, ok := r.CrashSiteAt(2, []int{0, 1}); ok {
+		t.Error("crashed with target site absent")
+	}
+	s, ok := r.CrashSiteAt(2, []int{0, 5})
+	if !ok || s != 5 {
+		t.Errorf("CrashSiteAt(2) = (%d,%v), want (5,true)", s, ok)
+	}
+	if _, ok := r.CrashSiteAt(2, []int{0, 5}); ok {
+		t.Error("targeted crash fired twice (budget default is 1)")
+	}
+}
+
+// TestDefaults: zero optional fields pick up documented defaults.
+func TestDefaults(t *testing.T) {
+	s := NewRegistry(Spec{}).Spec()
+	if s.DiskMaxRetries != 3 || s.MaxCrashes != 1 {
+		t.Errorf("defaults: %+v", s)
+	}
+	if s.MemShrinkFactor != 0.5 || s.MemGrowFactor != 1.5 {
+		t.Errorf("mem factor defaults: %+v", s)
+	}
+}

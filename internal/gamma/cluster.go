@@ -11,6 +11,7 @@ import (
 
 	"gammajoin/internal/cost"
 	"gammajoin/internal/disk"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/netsim"
 )
 
@@ -31,8 +32,27 @@ type Cluster struct {
 	Net   *netsim.Network
 	Sites []*Site
 
+	// Faults is the fault-injection registry wired into every physical
+	// component by EnableFaults; nil when the cluster runs fault-free.
+	Faults *fault.Registry
+
 	diskSites     []int
 	disklessSites []int
+}
+
+// EnableFaults builds a registry for spec and attaches it to the network
+// and every disk. Call once, after construction and before running
+// queries; the returned registry is also available as c.Faults.
+func (c *Cluster) EnableFaults(spec fault.Spec) *fault.Registry {
+	r := fault.NewRegistry(spec)
+	c.Faults = r
+	c.Net.SetFaults(r)
+	for _, s := range c.Sites {
+		if s.Disk != nil {
+			s.Disk.SetFaults(r)
+		}
+	}
+	return r
 }
 
 // NewLocal builds the paper's "local" configuration: numDisks processors

@@ -124,6 +124,28 @@ func (ht *HashTable) Insert(a *cost.Acct, t tuple.Tuple, h uint64) []tuple.Tuple
 	return evicted
 }
 
+// Resize changes the table's capacity mid-build — the memory-pressure
+// fault path. Growing simply raises the ceiling (the chain directory is
+// left alone; chains grow longer, which the per-visit Chain charge already
+// prices). Shrinking runs clearing passes until the payload fits, and the
+// evicted tuples are returned for the caller to demote to its overflow
+// file, exactly as for a capacity-exceeding Insert.
+func (ht *HashTable) Resize(a *cost.Acct, capBytes int64) []tuple.Tuple {
+	if capBytes < tuple.Bytes {
+		capBytes = tuple.Bytes
+	}
+	ht.capBytes = capBytes
+	var evicted []tuple.Tuple
+	for ht.BytesUsed() > ht.capBytes {
+		ev := ht.clearTenPercent(a)
+		if len(ev) == 0 {
+			break // cannot clear further (degenerate single-range table)
+		}
+		evicted = append(evicted, ev...)
+	}
+	return evicted
+}
+
 // clearTenPercent picks a new, lower cutoff from the histogram that frees
 // about 10% of the table's capacity, evicts every entry at or above it, and
 // returns the evicted tuples.

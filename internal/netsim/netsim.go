@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/tuple"
 )
 
@@ -20,6 +21,11 @@ type Counters struct {
 	TuplesLocal   int64
 	TuplesRemote  int64
 	BytesOnWire   int64
+
+	// Fault accounting: remote packets re-sent after an injected drop, and
+	// spurious duplicate copies delivered (and discarded by the receiver).
+	PacketsRetransmitted int64
+	PacketsDuplicated    int64
 }
 
 // Sub returns c - o.
@@ -30,6 +36,9 @@ func (c Counters) Sub(o Counters) Counters {
 		TuplesLocal:   c.TuplesLocal - o.TuplesLocal,
 		TuplesRemote:  c.TuplesRemote - o.TuplesRemote,
 		BytesOnWire:   c.BytesOnWire - o.BytesOnWire,
+
+		PacketsRetransmitted: c.PacketsRetransmitted - o.PacketsRetransmitted,
+		PacketsDuplicated:    c.PacketsDuplicated - o.PacketsDuplicated,
 	}
 }
 
@@ -52,7 +61,17 @@ type Network struct {
 	tuplesLocal   atomic.Int64
 	tuplesRemote  atomic.Int64
 	bytesOnWire   atomic.Int64
+
+	packetsRetransmitted atomic.Int64
+	packetsDuplicated    atomic.Int64
+
+	faults *fault.Registry
 }
+
+// SetFaults attaches a fault registry; remote packet sends consult it for
+// drops (retransmission) and duplication. Call at cluster setup, before
+// the network is shared (gamma.Cluster.EnableFaults does this).
+func (n *Network) SetFaults(r *fault.Registry) { n.faults = r }
 
 // New returns a network using cost model m.
 func New(m *cost.Model) *Network { return &Network{model: m} }
@@ -65,6 +84,9 @@ func (n *Network) Counters() Counters {
 		TuplesLocal:   n.tuplesLocal.Load(),
 		TuplesRemote:  n.tuplesRemote.Load(),
 		BytesOnWire:   n.bytesOnWire.Load(),
+
+		PacketsRetransmitted: n.packetsRetransmitted.Load(),
+		PacketsDuplicated:    n.packetsDuplicated.Load(),
 	}
 }
 
@@ -80,6 +102,11 @@ type Batch struct {
 	Tuples []tuple.Tuple
 	Hashes []uint64 // join-attribute hash for each tuple in Tuples
 	Joined []tuple.Joined
+
+	// Dups is how many spurious duplicate copies of this packet the
+	// (faulted) network delivered; the receiver charges protocol CPU to
+	// detect and discard each one.
+	Dups int
 }
 
 // Len returns the number of tuples in the batch.
@@ -96,6 +123,11 @@ func (n *Network) Recv(a *cost.Acct, b *Batch) {
 	if b.Local {
 		a.AddCPU(n.model.PacketProtoLocal)
 	} else {
+		a.AddCPU(n.model.PacketProto)
+	}
+	// Each duplicate copy costs a protocol pass to recognise the repeated
+	// sequence number and drop the payload.
+	for i := 0; i < b.Dups; i++ {
 		a.AddCPU(n.model.PacketProto)
 	}
 }
@@ -184,6 +216,22 @@ func (s *Sender) flush(k streamKey, b *Batch) {
 		s.net.packetsRemote.Add(1)
 		s.net.tuplesRemote.Add(nt)
 		s.net.bytesOnWire.Add(int64(m.P.PacketBytes))
+
+		// Fault injection applies to the wire only, so short-circuited
+		// local packets are exempt, matching the paper's protocol split.
+		retrans, dups := s.net.faults.PacketFate(b.Src, b.Dst, b.Tag, b.Seq)
+		for i := 0; i < retrans; i++ {
+			s.a.AddCPU(m.PacketProto)
+			s.a.AddNet(m.PacketWire)
+			s.net.packetsRetransmitted.Add(1)
+			s.net.bytesOnWire.Add(int64(m.P.PacketBytes))
+		}
+		if dups > 0 {
+			b.Dups = dups
+			s.a.AddNet(int64(dups) * m.PacketWire)
+			s.net.packetsDuplicated.Add(int64(dups))
+			s.net.bytesOnWire.Add(int64(dups) * int64(m.P.PacketBytes))
+		}
 	}
 	delete(s.bufs, k)
 	s.out(b.Dst, b)

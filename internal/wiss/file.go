@@ -9,15 +9,25 @@
 package wiss
 
 import (
+	"hash/fnv"
 	"sync"
-	"sync/atomic"
 
 	"gammajoin/internal/cost"
 	"gammajoin/internal/disk"
 	"gammajoin/internal/tuple"
 )
 
-var nextFileID atomic.Int64
+// fileID derives a stable id from the file name. Names are unique within a
+// run (fragments, temp files, and sort runs all carry distinguishing
+// suffixes), and deriving the id from the name rather than a process-global
+// counter keeps ids — and everything keyed on them, like disk arm-movement
+// accounting and fault schedules — identical across repeated runs in one
+// process.
+func fileID(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
 
 // File is a page-structured sequential file of fixed-size tuples on one
 // simulated disk.
@@ -36,7 +46,7 @@ type File struct {
 // NewFile creates an empty file on disk d.
 func NewFile(name string, d *disk.Disk, m *cost.Model) *File {
 	return &File{
-		id:      nextFileID.Add(1),
+		id:      fileID(name),
 		name:    name,
 		dsk:     d,
 		model:   m,

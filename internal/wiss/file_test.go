@@ -159,6 +159,13 @@ func TestFileIDsUnique(t *testing.T) {
 	if f1.Name() != "a" || f2.Name() != "b" {
 		t.Fatal("names wrong")
 	}
+	// Ids are derived from names, so recreating a file reproduces its id —
+	// the property that keeps arm-movement and fault accounting identical
+	// across repeated runs in one process.
+	f3, _, _ := testFile(t, "a")
+	if f3.ID() != f1.ID() {
+		t.Fatal("same name must yield the same id")
+	}
 }
 
 func TestAt(t *testing.T) {

@@ -1,6 +1,7 @@
 GO ?= go
+RACE ?=
 
-.PHONY: all build lint test race bench determinism chaos clean
+.PHONY: all build lint test race bench determinism chaos trace clean
 
 all: build lint test
 
@@ -47,7 +48,21 @@ chaos:
 	done
 	@echo "chaos gate: OK"
 
+# trace exports every fig5 run's timeline (Chrome trace_event JSON plus
+# per-phase metrics TSV; see docs/OBSERVABILITY.md) twice and requires the
+# two export trees to be byte-identical — the determinism gate for the
+# tracing layer. Set RACE=-race to run it under the race detector.
+trace:
+	rm -rf /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2
+	$(GO) run $(RACE) ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+		-trace-dir /tmp/gammajoin-trace-1 > /dev/null
+	$(GO) run $(RACE) ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+		-trace-dir /tmp/gammajoin-trace-2 > /dev/null
+	diff -r /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2
+	@echo "trace gate: OK ($$(ls /tmp/gammajoin-trace-1/*.trace.json | wc -l) timelines byte-identical)"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
 	rm -f /tmp/gammajoin-chaos-1.txt /tmp/gammajoin-chaos-2.txt
+	rm -rf /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2

@@ -7,19 +7,27 @@
 //	gammabench -exp all                 # every experiment, paper order
 //	gammabench -exp fig5,fig7,table3    # a selection
 //	gammabench -exp fig5 -outer 20000 -inner 2000   # scaled down
+//	gammabench -alg hybrid -trace out.json -metrics out.tsv   # one traced join
+//	gammabench -exp fig5 -trace-dir traces/   # export every run's timeline
 //
 // Response times are simulated seconds from the Gamma-calibrated cost
 // model; series shapes — orderings, crossovers, steps — reproduce the
 // paper's (see EXPERIMENTS.md for the point-by-point comparison).
+//
+// -trace writes Chrome trace_event JSON over simulated time — load it at
+// https://ui.perfetto.dev; -metrics writes the per-phase metric samples as
+// TSV (docs/OBSERVABILITY.md describes both formats).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"gammajoin/internal/core"
 	"gammajoin/internal/experiments"
 	"gammajoin/internal/fault"
 )
@@ -35,6 +43,12 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override workload seed (default 1989)")
 		timings = flag.Bool("t", false, "print wall-clock time per experiment")
 		plot    = flag.Bool("plot", false, "also render figure results as ASCII charts")
+
+		alg        = flag.String("alg", "", "run one joinABprime join with this algorithm (sort-merge|simple|grace|hybrid) instead of -exp")
+		ratio      = flag.Float64("ratio", 0.5, "memory ratio for the -alg run")
+		traceOut   = flag.String("trace", "", "with -alg: write the run's Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics", "", "with -alg: write the run's per-phase metrics TSV to this file")
+		traceDir   = flag.String("trace-dir", "", "export every experiment run's trace JSON + metrics TSV into this directory")
 
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (enables fault injection with any -fault-* rate)")
 		faultDisk  = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
@@ -83,6 +97,8 @@ func main() {
 		}
 	}
 
+	cfg.TraceDir = *traceDir
+
 	h := experiments.NewHarness(cfg)
 	fmt.Printf("joinABprime: %d-tuple outer ⋈ %d-tuple inner, %d disk sites",
 		cfg.OuterN, cfg.InnerN, cfg.Disks)
@@ -95,6 +111,14 @@ func main() {
 			f.Seed, f.DiskReadRate, f.NetDropRate, f.NetDupRate, f.MemPressureRate, f.CrashRate)
 	}
 	fmt.Println()
+
+	if *alg != "" {
+		if err := runSingle(h, *alg, *ratio, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gammabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var entries []experiments.Entry
 	if *exp == "all" {
@@ -129,4 +153,67 @@ func main() {
 			fmt.Printf("[%s took %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// parseAlg maps a flag value to an algorithm.
+func parseAlg(name string) (core.Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "sort-merge", "sortmerge":
+		return core.SortMerge, nil
+	case "simple":
+		return core.Simple, nil
+	case "grace":
+		return core.Grace, nil
+	case "hybrid":
+		return core.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want sort-merge, simple, grace, or hybrid)", name)
+	}
+}
+
+// runSingle executes one joinABprime join on the local configuration and
+// optionally exports its timeline and metric samples.
+func runSingle(h *experiments.Harness, algName string, ratio float64, traceOut, metricsOut string) error {
+	a, err := parseAlg(algName)
+	if err != nil {
+		return err
+	}
+	rep, err := h.Run(experiments.RunKey{Alg: a, HPJA: true, Ratio: ratio})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (memory ratio %.4g): %.2f simulated seconds, %d phases, %d buckets\n",
+		a, ratio, rep.Response.Seconds(), len(rep.Phases), rep.Buckets)
+	fmt.Printf("disk-site cpu utilization %.1f%%, bottleneck busy %.2fs, forming local fraction %.2f\n",
+		100*rep.UtilDisk, rep.BottleneckBusy.Seconds(), rep.FormingLocalFrac())
+	if rep.Restarts > 0 {
+		fmt.Printf("recovered from %d crash(es) at sites %v, wasting %.2fs\n",
+			rep.Restarts, rep.DeadSites, rep.WastedWork.Seconds())
+	}
+	write := func(path, kind string, emit func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", kind, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s written to %s\n", kind, path)
+		return nil
+	}
+	if traceOut != "" {
+		if err := write(traceOut, "trace", rep.Trace.WriteChrome); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, "metrics", rep.Trace.WriteMetricsTSV); err != nil {
+			return err
+		}
+	}
+	return nil
 }

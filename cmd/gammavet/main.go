@@ -11,11 +11,11 @@
 //
 // Analyzers are scoped: determinism applies to the simulator packages
 // (internal/core, internal/netsim, internal/cost, internal/disk,
-// internal/fault by default), costcharge to the execution engine
-// (internal/core), and faultpoint to every package that could plausibly
-// touch the fault registry. Packages outside all scopes are skipped. Exit
-// status is 1 when any diagnostic is reported and 2 on usage or load
-// errors.
+// internal/fault, internal/trace by default), costcharge to the execution
+// engine (internal/core), faultpoint to every package that could plausibly
+// touch the fault registry, and spancheck to the phase machinery
+// (internal/core). Packages outside all scopes are skipped. Exit status is
+// 1 when any diagnostic is reported and 2 on usage or load errors.
 package main
 
 import (
@@ -32,13 +32,15 @@ import (
 func main() {
 	var (
 		determinismPkgs = flag.String("determinism-pkgs",
-			"internal/core,internal/netsim,internal/cost,internal/disk,internal/fault",
+			"internal/core,internal/netsim,internal/cost,internal/disk,internal/fault,internal/trace",
 			"comma-separated package path suffixes checked by the determinism analyzer")
 		costchargePkgs = flag.String("costcharge-pkgs", "internal/core",
 			"comma-separated package path suffixes checked by the costcharge analyzer")
 		faultpointPkgs = flag.String("faultpoint-pkgs",
 			"internal/core,internal/disk,internal/netsim,internal/gamma,internal/wiss,internal/experiments",
 			"comma-separated package path suffixes checked by the faultpoint analyzer")
+		spancheckPkgs = flag.String("spancheck-pkgs", "internal/core",
+			"comma-separated package path suffixes checked by the spancheck analyzer")
 		verbose = flag.Bool("v", false, "list analyzed packages")
 	)
 	flag.Parse()
@@ -55,6 +57,7 @@ func main() {
 		analysis.Determinism: splitList(*determinismPkgs),
 		analysis.CostCharge:  splitList(*costchargePkgs),
 		analysis.FaultPoint:  splitList(*faultpointPkgs),
+		analysis.SpanCheck:   splitList(*spancheckPkgs),
 	}
 
 	dirs, err := resolvePatterns(loader.ModRoot(), patterns)
@@ -70,7 +73,7 @@ func main() {
 			continue
 		}
 		var todo []*analysis.Analyzer
-		for _, a := range []*analysis.Analyzer{analysis.Determinism, analysis.CostCharge, analysis.FaultPoint} {
+		for _, a := range []*analysis.Analyzer{analysis.Determinism, analysis.CostCharge, analysis.FaultPoint, analysis.SpanCheck} {
 			if inScope(path, scopes[a]) {
 				todo = append(todo, a)
 			}

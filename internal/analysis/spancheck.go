@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanCheck enforces the tracing contract of the phase machinery: every
+// goroutine a phase launches — recognisable because it creates its worker
+// account with (*gamma.Phase).Acct — must open exactly one trace span with
+// (*trace.Recorder).Start and close it with a deferred (*trace.Span).Close,
+// so the span ends on every path out of the goroutine (early return, panic
+// unwinding past rc.fail, and the normal exit all included). A goroutine
+// that charges an account without a span is invisible work on the exported
+// timeline; two Start calls in one goroutine break the canonical span
+// identity the byte-identical-export guarantee sorts by; a non-deferred
+// Close can be skipped by an early return and leaves a zero-duration span.
+//
+// Calling Phase.Acct outside a go-launched function literal is flagged too:
+// worker accounts created elsewhere cannot be wrapped by the goroutine's
+// span, so their charges would never reach the timeline.
+//
+// A `//gammavet:spancheck` directive on the offending line suppresses the
+// rule, for call sites that justify themselves (e.g. a harness measuring
+// the phase machinery itself).
+var SpanCheck = &Analyzer{
+	Name: "spancheck",
+	Doc: "require every phase-launched goroutine to open exactly one trace " +
+		"span and close it with defer, so the simulated timeline covers all " +
+		"charged work on every exit path",
+	Run: runSpanCheck,
+}
+
+// spanCheckDirective suppresses the spancheck rule at one source line.
+const spanCheckDirective = "gammavet:spancheck"
+
+func runSpanCheck(p *Pass) error {
+	for _, f := range p.Files {
+		allowed := directiveLines(p.Fset, f, spanCheckDirective)
+		// Acct calls that live inside a go-launched literal; any call
+		// outside this set is reported by the second walk.
+		insideGo := map[*ast.CallExpr]bool{}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			var accts, starts []*ast.CallExpr
+			deferredClose := false
+			// Walk the literal's own body; nested function literals run on
+			// this goroutine's stack, so their calls count too, but a
+			// nested *go* statement starts a fresh goroutine with its own
+			// obligations and is handled by the enclosing Inspect.
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.GoStmt:
+					return false
+				case *ast.DeferStmt:
+					if p.isMethodCall(m.Call, "internal/trace", "Span", "Close") {
+						deferredClose = true
+					}
+				case *ast.CallExpr:
+					if p.isMethodCall(m, "internal/gamma", "Phase", "Acct") {
+						accts = append(accts, m)
+						insideGo[m] = true
+					}
+					if p.isMethodCall(m, "internal/trace", "Recorder", "Start") {
+						starts = append(starts, m)
+					}
+				}
+				return true
+			})
+			if len(accts) == 0 {
+				return true // not a phase worker
+			}
+			line := p.Fset.Position(g.Pos()).Line
+			if allowed[line] || allowed[p.Fset.Position(accts[0].Pos()).Line] {
+				return true
+			}
+			switch {
+			case len(starts) == 0:
+				p.Reportf(g.Pos(), "phase-launched goroutine charges a Phase.Acct account but never opens a trace span; call trace.Recorder.Start and defer the span's Close (or justify with //gammavet:spancheck)")
+			case len(starts) > 1:
+				p.Reportf(starts[1].Pos(), "phase-launched goroutine opens %d trace spans; exactly one span per goroutine keeps the canonical span identity unique (or justify with //gammavet:spancheck)", len(starts))
+			case !deferredClose:
+				p.Reportf(starts[0].Pos(), "trace span is never closed with a deferred Span.Close; a non-deferred close can be skipped on early exit paths (or justify with //gammavet:spancheck)")
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || insideGo[call] {
+				return true
+			}
+			if !p.isMethodCall(call, "internal/gamma", "Phase", "Acct") {
+				return true
+			}
+			if allowed[p.Fset.Position(call.Pos()).Line] {
+				return true
+			}
+			p.Reportf(call.Pos(), "Phase.Acct called outside a go-launched phase worker; accounts created here escape the goroutine's trace span (or justify with //gammavet:spancheck)")
+			return true
+		})
+	}
+	return nil
+}
+
+// isMethodCall reports whether call invokes the method pkgSuffix.recv.name.
+func (p *Pass) isMethodCall(call *ast.CallExpr, pkgSuffix, recv, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isPkgNamed(sig.Recv().Type(), pkgSuffix, recv)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSpanCheckSeededViolations(t *testing.T) {
+	RunTest(t, "testdata/spancheck", SpanCheck)
+}

@@ -1,0 +1,63 @@
+// Package spancheck seeds violations of the spancheck analyzer against the
+// real gamma.Phase / trace.Recorder API: phase-launched goroutines that
+// charge worker accounts without opening (or correctly closing) their
+// trace span, and accounts created outside any launched goroutine.
+package spancheck
+
+import (
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/trace"
+)
+
+// wellFormedWorker is the shape runPhase launches: one account, one span,
+// deferred close. No diagnostics.
+func wellFormedWorker(p *gamma.Phase, tr *trace.Recorder, work func(*cost.Acct)) {
+	go func() {
+		a := p.Acct(0)
+		sp := tr.Start(0, "scan", "produce", -1)
+		defer sp.Close(a)
+		work(a)
+	}()
+}
+
+// spanlessWorker charges an account that never reaches the timeline.
+func spanlessWorker(p *gamma.Phase, work func(*cost.Acct)) {
+	go func() { // want `phase-launched goroutine charges a Phase.Acct account but never opens a trace span`
+		a := p.Acct(1)
+		work(a)
+	}()
+}
+
+// doubleSpanWorker opens two spans, breaking the canonical span identity.
+func doubleSpanWorker(p *gamma.Phase, tr *trace.Recorder, work func(*cost.Acct)) {
+	go func() {
+		a := p.Acct(2)
+		sp := tr.Start(2, "scan", "produce", -1)
+		defer sp.Close(a)
+		sp2 := tr.Start(2, "build", "consume", -1) // want `opens 2 trace spans`
+		defer sp2.Close(a)
+		work(a)
+	}()
+}
+
+// undeferredClose closes the span on the happy path only.
+func undeferredClose(p *gamma.Phase, tr *trace.Recorder, work func(*cost.Acct)) {
+	go func() {
+		a := p.Acct(3)
+		sp := tr.Start(3, "sort", "solo", -1) // want `never closed with a deferred Span.Close`
+		work(a)
+		sp.Close(a)
+	}()
+}
+
+// strayAcct creates a worker account outside any launched goroutine.
+func strayAcct(p *gamma.Phase) *cost.Acct {
+	return p.Acct(4) // want `Phase.Acct called outside a go-launched phase worker`
+}
+
+// justifiedHarness carries the directive, as a phase-machinery benchmark
+// measuring raw account cost would.
+func justifiedHarness(p *gamma.Phase) *cost.Acct {
+	return p.Acct(5) //gammavet:spancheck harness measures bare accounts
+}

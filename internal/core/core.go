@@ -24,6 +24,7 @@ import (
 	"gammajoin/internal/netsim"
 	"gammajoin/internal/pred"
 	"gammajoin/internal/split"
+	"gammajoin/internal/trace"
 	"gammajoin/internal/tuple"
 )
 
@@ -182,6 +183,12 @@ type Report struct {
 	Restarts   int
 	DeadSites  []int
 	WastedWork time.Duration
+
+	// Trace is the execution's simulated-time timeline: one span per
+	// operator process per phase (abandoned attempts included), fault
+	// events, and the per-phase metrics registry. See docs/OBSERVABILITY.md
+	// and the exporters in internal/trace.
+	Trace *trace.Recorder
 }
 
 // FormingLocalFrac is the fraction of forming-phase tuples written locally.
@@ -225,8 +232,13 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 		dead     []int
 		wasted   time.Duration
 	)
+	// One recorder spans every attempt: its virtual clock keeps running
+	// through restarts, so abandoned attempts stay visible on the timeline
+	// as the wasted work they were.
+	rec := c.NewTraceRecorder()
 	for {
-		rc, err := newRunCtx(c, &spec)
+		rec.NewAttempt()
+		rc, err := newRunCtx(c, &spec, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -247,6 +259,7 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 			wasted += rc.q.Response()
 			restarts++
 			dead = append(dead, sf.Site)
+			rec.Instant(sf.Site, "restart", fmt.Sprintf("attempt %d abandoned entering %q", restarts, sf.Phase))
 			if restarts > len(c.Sites) {
 				return nil, fmt.Errorf("core: giving up after %d restarts: %w", restarts, err)
 			}

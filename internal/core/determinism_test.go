@@ -46,9 +46,17 @@ func TestAllAlgorithmsDeterministic(t *testing.T) {
 		if ca, cb := resultChecksum(a.Results), resultChecksum(b.Results); ca != cb {
 			t.Errorf("%v: result checksums differ: %016x vs %016x", alg, ca, cb)
 		}
-		// Results may legitimately arrive in different orders; everything
-		// else must be bit-identical.
+		// The exported trace must be byte-identical: the recorder appends
+		// spans in scheduler order, but the exporters impose the canonical
+		// order, so the serialized timeline is the determinism contract.
+		if ja, jb := chromeJSON(t, a.Trace), chromeJSON(t, b.Trace); ja != jb {
+			t.Errorf("%v: trace JSON differs between runs", alg)
+		}
+		// Results may legitimately arrive in different orders, and the
+		// recorder's internal slices in scheduler order (compared above in
+		// canonical form); everything else must be bit-identical.
 		a.Results, b.Results = nil, nil
+		a.Trace, b.Trace = nil, nil
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%v: cost reports differ:\nrun1: %+v\nrun2: %+v", alg, a, b)
 		}

@@ -50,7 +50,11 @@ func TestAllAlgorithmsDeterministicWithFaults(t *testing.T) {
 			if ca, cb := resultChecksum(a.Results), resultChecksum(b.Results); ca != cb {
 				t.Errorf("seed %d %v: result checksums differ: %016x vs %016x", seed, alg, ca, cb)
 			}
+			if ja, jb := chromeJSON(t, a.Trace), chromeJSON(t, b.Trace); ja != jb {
+				t.Errorf("seed %d %v: faulted trace JSON differs between runs", seed, alg)
+			}
 			a.Results, b.Results = nil, nil
+			a.Trace, b.Trace = nil, nil
 			if !reflect.DeepEqual(a, b) {
 				t.Errorf("seed %d %v: faulted cost reports differ:\nrun1: %+v\nrun2: %+v", seed, alg, a, b)
 			}

@@ -69,7 +69,7 @@ func (rc *runCtx) runGrace() error {
 				label += fmt.Sprintf("+%d", b+1)
 			}
 		}
-		if err := rc.hashJoinStreams(label, rsrc, ssrc, rc.spec.HashSeed, 0); err != nil {
+		if err := rc.hashJoinStreams(label, group[0], rsrc, ssrc, rc.spec.HashSeed, 0); err != nil {
 			return err
 		}
 	}
@@ -211,6 +211,7 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 	ps := phaseSpec{
 		name:    name,
 		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
+		ops:     opLabels{produce: "scan", consume: "bucket write"},
 		produce: map[int][]producerFn{},
 		consume: map[int]consumerFn{},
 	}
@@ -252,9 +253,9 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 					f.Append(a, b.Tuples[i])
 				}
 				if b.Local {
-					rc.formLocal.Add(int64(len(b.Tuples)))
+					rc.mFormLocal.Add(int64(len(b.Tuples)))
 				} else {
-					rc.formRemote.Add(int64(len(b.Tuples)))
+					rc.mFormRemote.Add(int64(len(b.Tuples)))
 				}
 			}
 			for bkt := firstDiskBucket; bkt < len(buckets); bkt++ {

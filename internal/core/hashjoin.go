@@ -25,15 +25,17 @@ import (
 // (Section 4.1).
 //
 // base is the overflow level the first iteration represents (0 for a fresh
-// Simple join, 1 when resolving a Hybrid first-bucket overflow).
-func (rc *runCtx) hashJoinStreams(prefix string, rsrc, ssrc []fileAt, seed uint64, base int) error {
-	return rc.hashJoinStreamsPred(prefix, rsrc, ssrc, seed, base, nil, nil)
+// Simple join, 1 when resolving a Hybrid first-bucket overflow). bucket is
+// the 0-based bucket this join processes, carried onto the trace spans (-1
+// for un-bucketed joins).
+func (rc *runCtx) hashJoinStreams(prefix string, bucket int, rsrc, ssrc []fileAt, seed uint64, base int) error {
+	return rc.hashJoinStreamsPred(prefix, bucket, rsrc, ssrc, seed, base, nil, nil)
 }
 
 // hashJoinStreamsPred is hashJoinStreams with selection predicates applied
 // to the first level's scans (relation scans; overflow files are already
 // filtered).
-func (rc *runCtx) hashJoinStreamsPred(prefix string, rsrc, ssrc []fileAt, seed uint64, base int,
+func (rc *runCtx) hashJoinStreamsPred(prefix string, bucket int, rsrc, ssrc []fileAt, seed uint64, base int,
 	rPred, sPred pred.Pred) error {
 	level := 0
 	prevR := int64(-1)
@@ -46,7 +48,7 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, rsrc, ssrc []fileAt, seed u
 		// can split it — rehashing cannot help. Fall back to a chunked
 		// block join of the stuck partitions, which always terminates.
 		if cur := totalTuples(rsrc); cur == prevR && level > 0 {
-			return rc.blockJoinLevel(fmt.Sprintf("%s block join L%d", prefix, level+base), rsrc, ssrc)
+			return rc.blockJoinLevel(fmt.Sprintf("%s block join L%d", prefix, level+base), bucket, rsrc, ssrc)
 		} else {
 			prevR = cur
 		}
@@ -58,7 +60,7 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, rsrc, ssrc []fileAt, seed u
 		if level == 0 {
 			rp, sp = rPred, sPred
 		}
-		rover, sover, err := rc.joinLevel(name, rsrc, ssrc, seed+uint64(level), rp, sp)
+		rover, sover, err := rc.joinLevel(name, bucket, rsrc, ssrc, seed+uint64(level), rp, sp)
 		if err != nil {
 			return err
 		}
@@ -85,14 +87,17 @@ func totalTuples(src []fileAt) int64 {
 // against each chunk. Inner and outer overflow files with the same index
 // were routed by the same hash and cutoff, so pairing them site by site is
 // exhaustive and exact.
-func (rc *runCtx) blockJoinLevel(name string, rsrc, ssrc []fileAt) error {
+func (rc *runCtx) blockJoinLevel(name string, bucket int, rsrc, ssrc []fileAt) error {
 	// Pair outer sources with inner sources by file order: joinLevel
 	// emits them in matching join-site order; unmatched outer files have
 	// no inner partner and produce nothing.
 	ps := phaseSpec{
-		name:    name,
-		produce: map[int][]producerFn{},
-		consume: map[int]consumerFn{},
+		name:      name,
+		ops:       opLabels{produce: "block join", consume: "store"},
+		bucket:    bucket,
+		hasBucket: bucket >= 0,
+		produce:   map[int][]producerFn{},
+		consume:   map[int]consumerFn{},
 	}
 	for i, rf := range rsrc {
 		if i >= len(ssrc) {
@@ -148,7 +153,7 @@ func (rc *runCtx) blockJoinLevel(name string, rsrc, ssrc []fileAt) error {
 // joinLevel runs one build+probe pass over the given source files and
 // returns the overflow files feeding the next level (empty when the inner
 // fit in memory everywhere).
-func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred, sPred pred.Pred) (rover, sover []fileAt, err error) {
+func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed uint64, rPred, sPred pred.Pred) (rover, sover []fileAt, err error) {
 	jt := &split.JoinTable{Sites: rc.joinSites}
 
 	tables := make(map[int]*gamma.HashTable, len(rc.joinSites))
@@ -174,11 +179,14 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 
 	// ---- build phase: redistribute the inner source files ----
 	build := phaseSpec{
-		name:    name + " build",
-		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
-		produce: map[int][]producerFn{},
-		consume: map[int]consumerFn{},
-		write:   map[int]writerFn{},
+		name:      name + " build",
+		end:       gamma.EndOpts{SplitEntries: jt.Entries()},
+		ops:       opLabels{produce: "scan", consume: "build", write: "overflow write"},
+		bucket:    bucket,
+		hasBucket: bucket >= 0,
+		produce:   map[int][]producerFn{},
+		consume:   map[int]consumerFn{},
+		write:     map[int]writerFn{},
 	}
 	for _, src := range rsrc {
 		f := src.f
@@ -217,12 +225,12 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 						flt.Set(h)
 					}
 					if gamma.AboveCutoff(tbl.Cutoff(), h) {
-						rc.rOverflowed.Add(1)
+						rc.mROver.Add(1)
 						snd.Send(home, tagROverBase+j, b.Tuples[i], h)
 						continue
 					}
 					for _, ev := range tbl.Insert(a, b.Tuples[i], h) {
-						rc.rOverflowed.Add(1)
+						rc.mROver.Add(1)
 						snd.Send(home, tagROverBase+j, ev, 0)
 					}
 				}
@@ -246,11 +254,14 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 
 	// ---- probe phase: redistribute the outer source files ----
 	probe := phaseSpec{
-		name:    name + " probe",
-		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
-		produce: map[int][]producerFn{},
-		consume: map[int]consumerFn{},
-		write:   map[int]writerFn{},
+		name:      name + " probe",
+		end:       gamma.EndOpts{SplitEntries: jt.Entries()},
+		ops:       opLabels{produce: "scan", consume: "probe", write: "store"},
+		bucket:    bucket,
+		hasBucket: bucket >= 0,
+		produce:   map[int][]producerFn{},
+		consume:   map[int]consumerFn{},
+		write:     map[int]writerFn{},
 	}
 	for _, src := range ssrc {
 		f := src.f
@@ -274,7 +285,7 @@ func (rc *runCtx) joinLevel(name string, rsrc, ssrc []fileAt, seed uint64, rPred
 					}
 				}
 				if gamma.AboveCutoff(cutoffs[j], h) {
-					rc.sOverflowed.Add(1)
+					rc.mSOver.Add(1)
 					snd.Send(rc.c.OverflowDiskSite(j), tagSOverBase+j, *t, h)
 					return true
 				}

@@ -60,11 +60,14 @@ func (rc *runCtx) runHybrid() error {
 
 	// ---- phase 1: partition R, building bucket 1 in memory ----
 	partR := phaseSpec{
-		name:    "partition R + build bucket 1",
-		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
-		produce: map[int][]producerFn{},
-		consume: map[int]consumerFn{},
-		write:   map[int]writerFn{},
+		name:      "partition R + build bucket 1",
+		end:       gamma.EndOpts{SplitEntries: pt.Entries()},
+		ops:       opLabels{produce: "scan", consume: "split + build bucket 1", write: "overflow write"},
+		bucket:    0,
+		hasBucket: true,
+		produce:   map[int][]producerFn{},
+		consume:   map[int]consumerFn{},
+		write:     map[int]writerFn{},
 	}
 	for _, s := range rc.spec.R.FragmentSites() {
 		f := rc.spec.R.Fragments[s]
@@ -104,12 +107,12 @@ func (rc *runCtx) runHybrid() error {
 						flt.Set(h)
 					}
 					if gamma.AboveCutoff(tbl.Cutoff(), h) {
-						rc.rOverflowed.Add(1)
+						rc.mROver.Add(1)
 						snd.Send(home, tagROverBase+j, b.Tuples[i], h)
 						continue
 					}
 					for _, ev := range tbl.Insert(a, b.Tuples[i], h) {
-						rc.rOverflowed.Add(1)
+						rc.mROver.Add(1)
 						snd.Send(home, tagROverBase+j, ev, 0)
 					}
 				}
@@ -130,11 +133,14 @@ func (rc *runCtx) runHybrid() error {
 
 	// ---- phase 2: partition S, probing bucket 1 on the fly ----
 	partS := phaseSpec{
-		name:    "partition S + probe bucket 1",
-		end:     gamma.EndOpts{SplitEntries: pt.Entries()},
-		produce: map[int][]producerFn{},
-		consume: map[int]consumerFn{},
-		write:   map[int]writerFn{},
+		name:      "partition S + probe bucket 1",
+		end:       gamma.EndOpts{SplitEntries: pt.Entries()},
+		ops:       opLabels{produce: "scan", consume: "split + probe bucket 1", write: "store"},
+		bucket:    0,
+		hasBucket: true,
+		produce:   map[int][]producerFn{},
+		consume:   map[int]consumerFn{},
+		write:     map[int]writerFn{},
 	}
 	for _, s := range rc.spec.S.FragmentSites() {
 		f := rc.spec.S.Fragments[s]
@@ -161,7 +167,7 @@ func (rc *runCtx) runHybrid() error {
 					}
 				}
 				if gamma.AboveCutoff(cutoffs[dst], h) {
-					rc.sOverflowed.Add(1)
+					rc.mSOver.Add(1)
 					snd.Send(rc.c.OverflowDiskSite(dst), tagSOverBase+dst, *t, h)
 					return true
 				}
@@ -208,7 +214,7 @@ func (rc *runCtx) runHybrid() error {
 	for b := 1; b < nb; b++ {
 		rsrc := rc.bucketSources(rb, b)
 		ssrc := rc.bucketSources(sb, b)
-		if err := rc.hashJoinStreams(fmt.Sprintf("bucket %d", b+1), rsrc, ssrc, seed, 0); err != nil {
+		if err := rc.hashJoinStreams(fmt.Sprintf("bucket %d", b+1), b, rsrc, ssrc, seed, 0); err != nil {
 			return err
 		}
 	}
@@ -223,7 +229,7 @@ func (rc *runCtx) runHybrid() error {
 		}
 	}
 	if len(rover) > 0 {
-		return rc.hashJoinStreams("bucket 1", rover, sover, seed+1, 1)
+		return rc.hashJoinStreams("bucket 1", 0, rover, sover, seed+1, 1)
 	}
 	return nil
 }
@@ -262,9 +268,9 @@ func (rc *runCtx) hybridConsumers(consume map[int]consumerFn, mk func(j int) con
 					f.Append(a, b.Tuples[i])
 				}
 				if b.Local {
-					rc.formLocal.Add(int64(len(b.Tuples)))
+					rc.mFormLocal.Add(int64(len(b.Tuples)))
 				} else {
-					rc.formRemote.Add(int64(len(b.Tuples)))
+					rc.mFormRemote.Add(int64(len(b.Tuples)))
 				}
 			}
 			for bkt := 1; bkt < len(buckets); bkt++ {

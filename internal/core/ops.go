@@ -12,6 +12,7 @@ import (
 	"gammajoin/internal/netsim"
 	"gammajoin/internal/pred"
 	"gammajoin/internal/split"
+	"gammajoin/internal/trace"
 	"gammajoin/internal/tuple"
 )
 
@@ -28,6 +29,9 @@ type OpReport struct {
 	Rows     int64
 	Net      netsim.Counters
 	Disk     disk.Counters
+
+	// Trace is the operator's simulated-time timeline (see Report.Trace).
+	Trace *trace.Recorder
 }
 
 // newBareCtx builds the minimal runCtx the phase machinery needs for
@@ -51,6 +55,9 @@ func newBareCtx(c *gamma.Cluster, joinSites []int) *runCtx {
 		var n int64
 		rc.storeCount[ds] = &n
 	}
+	tr := c.NewTraceRecorder()
+	tr.NewAttempt()
+	rc.attachTrace(tr)
 	return rc
 }
 
@@ -61,6 +68,7 @@ func (rc *runCtx) opReport(rows int64) *OpReport {
 		Rows:     rows,
 		Net:      rc.c.Net.Counters().Sub(rc.netStart),
 		Disk:     rc.c.DiskCounters().Sub(rc.diskStart),
+		Trace:    rc.tr,
 	}
 }
 
@@ -106,6 +114,7 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 	perPage := rc.m.TuplesPerPage(tuple.Bytes)
 	ps := phaseSpec{
 		name:    "select " + s.Rel.Name,
+		ops:     opLabels{produce: "scan", consume: "store"},
 		produce: map[int][]producerFn{},
 		consume: map[int]consumerFn{},
 	}
@@ -330,6 +339,7 @@ func RunAggregate(c *gamma.Cluster, s AggSpec) (*OpReport, []AggGroup, error) {
 	ps := phaseSpec{
 		name:    fmt.Sprintf("aggregate %s(%s)", s.Fn, tuple.IntAttrNames[s.AggAttr]),
 		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
+		ops:     opLabels{produce: "partial agg", consume: "merge agg"},
 		produce: map[int][]producerFn{},
 		consume: map[int]consumerFn{},
 	}

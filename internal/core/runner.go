@@ -12,6 +12,7 @@ import (
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/netsim"
 	"gammajoin/internal/pred"
+	"gammajoin/internal/trace"
 	"gammajoin/internal/tuple"
 	"gammajoin/internal/wiss"
 )
@@ -41,14 +42,25 @@ type runCtx struct {
 	netStart  netsim.Counters
 	diskStart disk.Counters
 
+	// tr records the execution onto the simulated timeline; attempt is
+	// this runCtx's ordinal on the (restart-spanning) recorder.
+	tr      *trace.Recorder
+	attempt int
+
+	// Routing counters live in the trace metrics registry so they are
+	// queryable per phase; the handles below are registered once and the
+	// *Start values snapshot the registry at runCtx creation, so a restart
+	// attempt reports only its own activity.
+	mFormLocal, mFormRemote         *trace.Counter // forming-phase tuple routing
+	mROver, mSOver                  *trace.Counter // overflow-file demotions
+	mChainMax                       *trace.Gauge   // per-phase max hash-chain length
+	formLocalStart, formRemoteStart int64
+	rOverStart, sOverStart          int64
+
 	// stats, updated from worker goroutines
 	resultCount    atomic.Int64
 	filterDropped  atomic.Int64
 	overflowClears atomic.Int64
-	rOverflowed    atomic.Int64
-	sOverflowed    atomic.Int64
-	formLocal      atomic.Int64
-	formRemote     atomic.Int64
 
 	overflowLevels int
 	buckets        int
@@ -70,7 +82,27 @@ type runCtx struct {
 	fileSeq    int
 }
 
-func newRunCtx(c *gamma.Cluster, spec *Spec) (*runCtx, error) {
+// attachTrace wires the recorder into the run: the query drives its phase
+// clock, and the routing counters register their metric handles. Snapshots
+// of the (cumulative, restart-spanning) counters let report() expose only
+// this attempt's activity.
+func (rc *runCtx) attachTrace(tr *trace.Recorder) {
+	rc.tr = tr
+	rc.attempt = tr.Attempt()
+	rc.q.Trace = tr
+	mm := tr.Metrics()
+	rc.mFormLocal = mm.Counter("form.tuples.local")
+	rc.mFormRemote = mm.Counter("form.tuples.remote")
+	rc.mROver = mm.Counter("overflow.r.tuples")
+	rc.mSOver = mm.Counter("overflow.s.tuples")
+	rc.mChainMax = mm.Gauge("hash.chain.max")
+	rc.formLocalStart = rc.mFormLocal.Value()
+	rc.formRemoteStart = rc.mFormRemote.Value()
+	rc.rOverStart = rc.mROver.Value()
+	rc.sOverStart = rc.mSOver.Value()
+}
+
+func newRunCtx(c *gamma.Cluster, spec *Spec, tr *trace.Recorder) (*runCtx, error) {
 	if spec.R == nil || spec.S == nil {
 		return nil, fmt.Errorf("core: spec needs both relations")
 	}
@@ -133,6 +165,7 @@ func newRunCtx(c *gamma.Cluster, spec *Spec) (*runCtx, error) {
 	if rc.memPerSite < int64(tuple.Bytes) {
 		rc.memPerSite = tuple.Bytes
 	}
+	rc.attachTrace(tr)
 	if spec.BitFilter {
 		rc.filterBits = filterBits(c.Model, len(js))
 	}
@@ -158,10 +191,12 @@ func (rc *runCtx) report() *Report {
 	// Forming counts only tuples actually written into disk buckets or
 	// redistribution temp files (the paper's Table 2 "local writes"
 	// metric) — not the overlapped in-memory build/probe traffic and not
-	// result storing.
+	// result storing. The counters live in the trace metrics registry
+	// (per-phase queryable); the snapshot diff keeps a restarted query's
+	// report scoped to the successful attempt.
 	forming := netsim.Counters{
-		TuplesLocal:  rc.formLocal.Load(),
-		TuplesRemote: rc.formRemote.Load(),
+		TuplesLocal:  rc.mFormLocal.Value() - rc.formLocalStart,
+		TuplesRemote: rc.mFormRemote.Value() - rc.formRemoteStart,
 	}
 	r := &Report{
 		Alg:               rc.spec.Alg,
@@ -172,8 +207,8 @@ func (rc *runCtx) report() *Report {
 		Buckets:           rc.buckets,
 		OverflowLevels:    rc.overflowLevels,
 		OverflowClears:    rc.overflowClears.Load(),
-		ROverflowed:       rc.rOverflowed.Load(),
-		SOverflowed:       rc.sOverflowed.Load(),
+		ROverflowed:       rc.mROver.Value() - rc.rOverStart,
+		SOverflowed:       rc.mSOver.Value() - rc.sOverStart,
 		FilterBitsPerSite: rc.filterBits,
 		FilterDropped:     rc.filterDropped.Load(),
 		Net:               rc.c.Net.Counters().Sub(rc.netStart),
@@ -181,6 +216,7 @@ func (rc *runCtx) report() *Report {
 		Forming:           forming,
 		SortPassesR:       rc.sortPassesR,
 		SortPassesS:       rc.sortPassesS,
+		Trace:             rc.tr,
 	}
 	// Chain stats are folded in sorted site order: float addition is not
 	// associative, so summing in goroutine-completion order would make
@@ -203,24 +239,21 @@ func (rc *runCtx) report() *Report {
 
 	// Utilization: per-site CPU time over the response time, averaged
 	// within each processor class; bottleneck: the busiest site's summed
-	// resource time (CPU + disk + net).
-	busy := map[int]int64{}
-	cpu := map[int]int64{}
-	for _, p := range rc.q.Phases {
-		for site, acct := range p.PerSite {
-			cpu[site] += acct.CPU
-			busy[site] += acct.CPU + acct.Disk + acct.Net
-		}
-	}
+	// resource time (CPU + disk + net). Both derive from the trace: every
+	// operator span carries its resource breakdown, so summing this
+	// attempt's spans per site reproduces the per-phase accounting exactly
+	// (the trace *is* the audit trail for the paper's Section 4.5
+	// utilization claims).
+	totals := rc.tr.SiteTotals(rc.attempt)
 	resp := float64(r.Response.Nanoseconds())
 	if resp > 0 {
 		var dSum, dn, lSum, ln float64
 		for _, site := range rc.c.DiskSites() {
-			dSum += float64(cpu[site])
+			dSum += float64(totals[site].CPU)
 			dn++
 		}
 		for _, site := range rc.c.DisklessSites() {
-			lSum += float64(cpu[site])
+			lSum += float64(totals[site].CPU)
 			ln++
 		}
 		if dn > 0 {
@@ -231,8 +264,8 @@ func (rc *runCtx) report() *Report {
 		}
 	}
 	var maxBusy int64
-	for _, b := range busy { //gammavet:ordered max fold is order-independent
-		if b > maxBusy {
+	for _, t := range totals { //gammavet:ordered max fold is order-independent
+		if b := t.Busy(); b > maxBusy {
 			maxBusy = b
 		}
 	}
@@ -250,6 +283,7 @@ type chainStat struct {
 
 func (rc *runCtx) noteChains(site int, ht *gamma.HashTable) {
 	avg, maxLen := ht.ChainStats()
+	rc.mChainMax.Max(int64(maxLen))
 	rc.chainMu.Lock()
 	st := rc.chainBySite[site]
 	if avg > 0 {
@@ -297,8 +331,10 @@ func (rc *runCtx) applyMemPressure(a *cost.Acct, snd *netsim.Sender, j int, tbl 
 	if f == 1 {
 		return
 	}
-	for _, ev := range tbl.Resize(a, int64(float64(rc.tableCap())*f)) {
-		rc.rOverflowed.Add(1)
+	evs := tbl.Resize(a, int64(float64(rc.tableCap())*f))
+	a.Note("mem.pressure", int64(len(evs)))
+	for _, ev := range evs {
+		rc.mROver.Add(1)
 		snd.Send(rc.c.OverflowDiskSite(j), tagROverBase+j, ev, 0)
 	}
 }
@@ -339,14 +375,51 @@ type consumerFn func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch)
 // writerFn consumes second-stage batches (overflow files, result store).
 type writerFn func(a *cost.Acct, batches []*netsim.Batch)
 
+// opLabels names the operator each launch role performs in a phase, for the
+// trace (e.g. produce="scan", consume="build"). Empty labels fall back to
+// the role name.
+type opLabels struct {
+	produce, consume, write, solo string
+}
+
 // phaseSpec wires one barrier-synchronized operator phase.
 type phaseSpec struct {
-	name    string
-	end     gamma.EndOpts
-	solo    map[int][]func(a *cost.Acct) // site-local work, no communication
-	produce map[int][]producerFn
-	consume map[int]consumerFn
-	write   map[int]writerFn
+	name      string
+	end       gamma.EndOpts
+	ops       opLabels
+	bucket    int // 0-based bucket/partition this phase joins; hasBucket gates it
+	hasBucket bool
+	solo      map[int][]func(a *cost.Acct) // site-local work, no communication
+	produce   map[int][]producerFn
+	consume   map[int]consumerFn
+	write     map[int]writerFn
+}
+
+// op resolves the trace operator label for a launch role.
+func (ps *phaseSpec) op(role string) string {
+	var label string
+	switch role {
+	case "produce":
+		label = ps.ops.produce
+	case "consume":
+		label = ps.ops.consume
+	case "write":
+		label = ps.ops.write
+	case "solo":
+		label = ps.ops.solo
+	}
+	if label == "" {
+		return role
+	}
+	return label
+}
+
+// traceBucket is the span bucket argument for this phase (-1 when N/A).
+func (ps *phaseSpec) traceBucket() int {
+	if ps.hasBucket {
+		return ps.bucket
+	}
+	return -1
 }
 
 // drainSorted collects every batch from ch, charging receive costs, and
@@ -391,11 +464,13 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 	// leaked workers, and the query's phase list still matches what
 	// actually ran. The runner (Run) restarts without the dead site.
 	if site, ok := rc.c.Faults.CrashSiteAt(len(rc.q.Phases), rc.joinSites); ok {
+		rc.tr.Instant(site, "crash", ps.name)
 		return &SiteFailure{Site: site, Phase: ps.name}
 	}
 	p := rc.q.NewPhase(ps.name)
 	ex1 := rc.c.NewExchange()
 	ex2 := rc.c.NewExchange()
+	bucket := ps.traceBucket()
 
 	var writers sync.WaitGroup
 	for _, site := range sortedKeys(ps.write) {
@@ -404,6 +479,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 		go func(site int, fn writerFn) {
 			defer writers.Done()
 			a := p.Acct(site)
+			sp := rc.tr.Start(site, ps.op("write"), "write", bucket)
+			defer sp.Close(a)
 			fn(a, drainSorted(rc.c.Net, a, ex2.Chan(site)))
 		}(site, fn)
 	}
@@ -415,6 +492,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 		go func(site int, fn consumerFn) {
 			defer consumers.Done()
 			a := p.Acct(site)
+			sp := rc.tr.Start(site, ps.op("consume"), "consume", bucket)
+			defer sp.Close(a)
 			snd := rc.c.Net.NewSender(a, site, ex2.Deliver)
 			fn(a, snd, drainSorted(rc.c.Net, a, ex1.Chan(site)))
 			snd.FlushAll()
@@ -428,6 +507,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 		go func(site int, fns []producerFn) {
 			defer producers.Done()
 			a := p.Acct(site)
+			sp := rc.tr.Start(site, ps.op("produce"), "produce", bucket)
+			defer sp.Close(a)
 			snd := rc.c.Net.NewSender(a, site, ex1.Deliver)
 			for _, fn := range fns {
 				fn(a, snd)
@@ -442,6 +523,8 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 		go func(site int, fns []func(*cost.Acct)) {
 			defer solos.Done()
 			a := p.Acct(site)
+			sp := rc.tr.Start(site, ps.op("solo"), "solo", bucket)
+			defer sp.Close(a)
 			for _, fn := range fns {
 				fn(a)
 			}

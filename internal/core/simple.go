@@ -13,6 +13,6 @@ func (rc *runCtx) runSimple() error {
 	for _, s := range rc.spec.S.FragmentSites() {
 		ssrc = append(ssrc, fileAt{site: s, f: rc.spec.S.Fragments[s]})
 	}
-	return rc.hashJoinStreamsPred("simple", rsrc, ssrc, rc.spec.HashSeed, 0,
+	return rc.hashJoinStreamsPred("simple", -1, rsrc, ssrc, rc.spec.HashSeed, 0,
 		rc.spec.RPred, rc.spec.SPred)
 }

@@ -81,6 +81,7 @@ func (rc *runCtx) runSortMerge() error {
 	// Local merge join in parallel across the disk sites.
 	merge := phaseSpec{
 		name:    "merge join",
+		ops:     opLabels{produce: "merge join", consume: "store"},
 		produce: map[int][]producerFn{},
 		consume: map[int]consumerFn{},
 	}
@@ -108,6 +109,7 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 	ps := phaseSpec{
 		name:    name,
 		end:     gamma.EndOpts{SplitEntries: jt.Entries()},
+		ops:     opLabels{produce: "scan", consume: "split write"},
 		produce: map[int][]producerFn{},
 		consume: map[int]consumerFn{},
 	}
@@ -152,8 +154,8 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 			}
 			f.Flush(a)
 			if b := b2Local(batches); b.local+b.remote > 0 {
-				rc.formLocal.Add(b.local)
-				rc.formRemote.Add(b.remote)
+				rc.mFormLocal.Add(b.local)
+				rc.mFormRemote.Add(b.remote)
 			}
 		}
 	}
@@ -179,7 +181,7 @@ func b2Local(batches []*netsim.Batch) localRemote {
 func (rc *runCtx) sortPhase(name string, src, dst map[int]*wiss.File, attr int,
 	memPerSite int64, passes *int) error {
 	var mu sync.Mutex
-	ps := phaseSpec{name: name, solo: map[int][]func(a *cost.Acct){}}
+	ps := phaseSpec{name: name, ops: opLabels{solo: "sort"}, solo: map[int][]func(a *cost.Acct){}}
 	for _, s := range sortedKeys(src) {
 		s := s
 		ps.solo[s] = append(ps.solo[s], func(a *cost.Acct) {

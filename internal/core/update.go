@@ -42,6 +42,7 @@ func RunUpdate(c *gamma.Cluster, s UpdateSpec) (*OpReport, error) {
 	counts := make(map[int]*int64, len(s.Rel.Fragments))
 	ps := phaseSpec{
 		name: "update " + s.Rel.Name,
+		ops:  opLabels{solo: "update"},
 		solo: map[int][]func(a *cost.Acct){},
 	}
 	for _, site := range s.Rel.FragmentSites() {
@@ -147,6 +148,7 @@ func RunIndexSelect(c *gamma.Cluster, ix *gamma.Index, p pred.Pred, collect bool
 
 	ps := phaseSpec{
 		name: "index select " + ix.Rel.Name,
+		ops:  opLabels{solo: "index select"},
 		solo: map[int][]func(a *cost.Acct){},
 	}
 	for _, site := range ix.Rel.FragmentSites() {

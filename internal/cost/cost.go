@@ -191,6 +191,26 @@ type Acct struct {
 	CPU  int64 // nanoseconds of processor time
 	Disk int64 // nanoseconds of disk-arm time
 	Net  int64 // nanoseconds of network-interface time
+
+	// Events are annotations (fault retries, retransmissions, memory
+	// pressure) recorded by Note. They never charge time; internal/trace
+	// surfaces them as span events. Nil on fault-free runs.
+	Events []Ev
+}
+
+// Ev is one annotated event on an account, stamped with the account's
+// elapsed simulated time at the moment it was recorded.
+type Ev struct {
+	Kind   string // dotted event name, e.g. "disk.retry"
+	Detail int64  // event-specific payload (file id, evicted tuples, ...)
+	At     int64  // offset into the account's elapsed time, in ns
+}
+
+// Note records an event at the account's current elapsed offset. Notes are
+// observability-only: they never charge time, so a run with and without
+// readers of the events produces identical response times.
+func (a *Acct) Note(kind string, detail int64) {
+	a.Events = append(a.Events, Ev{Kind: kind, Detail: detail, At: a.Elapsed()})
 }
 
 // AddCPU charges ns nanoseconds of CPU time.
@@ -202,11 +222,12 @@ func (a *Acct) AddDisk(ns int64) { a.Disk += ns }
 // AddNet charges ns nanoseconds of network-interface time.
 func (a *Acct) AddNet(ns int64) { a.Net += ns }
 
-// Merge adds another account into a.
+// Merge adds another account into a, carrying b's events along.
 func (a *Acct) Merge(b Acct) {
 	a.CPU += b.CPU
 	a.Disk += b.Disk
 	a.Net += b.Net
+	a.Events = append(a.Events, b.Events...)
 }
 
 // Elapsed is the wall time this account represents assuming perfect overlap

@@ -53,7 +53,7 @@ func TestAcctElapsedIsMax(t *testing.T) {
 func TestAcctMerge(t *testing.T) {
 	a := Acct{CPU: 1, Disk: 2, Net: 3}
 	a.Merge(Acct{CPU: 10, Disk: 20, Net: 30})
-	if a != (Acct{CPU: 11, Disk: 22, Net: 33}) {
+	if a.CPU != 11 || a.Disk != 22 || a.Net != 33 {
 		t.Fatalf("Merge result %+v", a)
 	}
 }
@@ -63,7 +63,7 @@ func TestAcctAdders(t *testing.T) {
 	a.AddCPU(7)
 	a.AddDisk(8)
 	a.AddNet(9)
-	if a != (Acct{7, 8, 9}) {
+	if a.CPU != 7 || a.Disk != 8 || a.Net != 9 {
 		t.Fatalf("adders produced %+v", a)
 	}
 }

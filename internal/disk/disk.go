@@ -44,6 +44,7 @@ func (d *Disk) retryFaults(a *cost.Acct, fileID int64) {
 		d.readRetries.Add(1)
 		d.pagesRead.Add(1)
 		a.AddDisk(d.model.RandPage)
+		a.Note("disk.retry", fileID)
 	}
 }
 

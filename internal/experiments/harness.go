@@ -37,6 +37,12 @@ type Config struct {
 	// of the configuration: two harnesses with equal Config produce
 	// bit-identical reports, faults and all.
 	Faults *fault.Spec
+
+	// TraceDir, when non-empty, makes the harness export every uncached
+	// run's timeline into this directory: <RunKey slug>.trace.json (Chrome
+	// trace_event, Perfetto-loadable) and <slug>.metrics.tsv (per-phase
+	// metric samples). See docs/OBSERVABILITY.md.
+	TraceDir string
 }
 
 // DefaultConfig returns the paper's configuration: 100k x 10k tuples on 8
@@ -303,6 +309,11 @@ func (h *Harness) Run(k RunKey) (*core.Report, error) {
 	rep, err := core.Run(c, spec)
 	if err != nil {
 		return nil, err
+	}
+	if h.cfg.TraceDir != "" {
+		if err := writeTraceFiles(h.cfg.TraceDir, k.Slug(), rep); err != nil {
+			return nil, err
+		}
 	}
 	h.cache[k] = rep
 	return rep, nil

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gammajoin/internal/core"
+)
+
+// Slug renders the run key as a filename-safe identifier, used to name
+// per-run trace exports under Config.TraceDir.
+func (k RunKey) Slug() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s_r%.4g", k.Alg, k.Ratio)
+	if k.Remote {
+		b.WriteString("_remote")
+	} else {
+		b.WriteString("_local")
+	}
+	if k.HPJA {
+		b.WriteString("_hpja")
+	}
+	if k.Filter {
+		b.WriteString("_filter")
+	}
+	if k.ForceBuckets > 0 {
+		fmt.Fprintf(&b, "_b%d", k.ForceBuckets)
+	}
+	if k.AllowOverflow {
+		b.WriteString("_ovf")
+	}
+	if k.Skew != "" {
+		b.WriteString("_" + strings.ToLower(k.Skew))
+	}
+	if k.FilterForming {
+		b.WriteString("_ff")
+	}
+	if k.BucketTuning {
+		b.WriteString("_tuned")
+	}
+	if k.Mixed {
+		b.WriteString("_mixed")
+	}
+	if k.AselB {
+		b.WriteString("_aselb")
+	}
+	return b.String()
+}
+
+// writeTraceFiles exports one run's timeline and metric samples.
+func writeTraceFiles(dir, slug string, rep *core.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	write := func(name string, emit func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: trace export: %w", err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: trace export %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if err := write(slug+".trace.json", rep.Trace.WriteChrome); err != nil {
+		return err
+	}
+	return write(slug+".metrics.tsv", rep.Trace.WriteMetricsTSV)
+}

@@ -13,6 +13,7 @@ import (
 	"gammajoin/internal/disk"
 	"gammajoin/internal/fault"
 	"gammajoin/internal/netsim"
+	"gammajoin/internal/trace"
 )
 
 // Site is one processor of the machine. Sites with an attached disk store
@@ -83,6 +84,21 @@ func newCluster(numDisks, numDiskless int, m *cost.Model) *Cluster {
 		c.disklessSites = append(c.disklessSites, id)
 	}
 	return c
+}
+
+// NewTraceRecorder creates a trace recorder whose tracks mirror the
+// machine: one per site, labelled by id and processor class. Attach it to a
+// query via Query.Trace to put the execution on the simulated timeline.
+func (c *Cluster) NewTraceRecorder() *trace.Recorder {
+	labels := make([]string, len(c.Sites))
+	for i, s := range c.Sites {
+		class := "diskless"
+		if s.HasDisk() {
+			class = "disk"
+		}
+		labels[i] = fmt.Sprintf("site %d (%s)", s.ID, class)
+	}
+	return trace.NewRecorder(labels)
 }
 
 // DiskSites returns the ids of sites with attached disks, in order.

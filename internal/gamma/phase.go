@@ -1,11 +1,14 @@
 package gamma
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"gammajoin/internal/cost"
+	"gammajoin/internal/disk"
 	"gammajoin/internal/netsim"
+	"gammajoin/internal/trace"
 )
 
 // PhaseStat records the simulated timing of one operator phase.
@@ -32,6 +35,13 @@ func (p PhaseStat) Elapsed() time.Duration { return p.Work + p.Sched }
 type Query struct {
 	C      *Cluster
 	Phases []PhaseStat
+
+	// Trace, when non-nil, records every phase onto the simulated-time
+	// timeline: NewPhase/End drive its virtual clock in lockstep with the
+	// response-time accumulation, and End publishes the phase's network and
+	// disk activity as per-phase gauges. A nil recorder disables tracing
+	// with zero effect on the numbers above.
+	Trace *trace.Recorder
 }
 
 // NewQuery starts a query on the cluster.
@@ -57,17 +67,23 @@ type Phase struct {
 	mu    sync.Mutex
 	accts map[int][]*cost.Acct
 
-	netStart netsim.Counters
+	netStart  netsim.Counters
+	diskStart disk.Counters
 }
 
 // NewPhase begins a phase.
 func (q *Query) NewPhase(name string) *Phase {
-	return &Phase{
+	p := &Phase{
 		q:        q,
 		name:     name,
 		accts:    make(map[int][]*cost.Acct),
 		netStart: q.C.Net.Counters(),
 	}
+	if q.Trace.Enabled() {
+		p.diskStart = q.C.DiskCounters()
+		q.Trace.BeginPhase(name)
+	}
+	return p
 }
 
 // Acct registers and returns a fresh account for one worker goroutine
@@ -106,6 +122,20 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 		for _, a := range list {
 			merged.Merge(*a)
 		}
+		// The per-site account list is in Acct-registration order, which
+		// depends on goroutine scheduling; resource totals are commutative
+		// but the merged event list is not. Impose a canonical time order
+		// so reports stay byte-identical across runs.
+		sort.Slice(merged.Events, func(i, j int) bool {
+			ei, ej := merged.Events[i], merged.Events[j]
+			if ei.At != ej.At {
+				return ei.At < ej.At
+			}
+			if ei.Kind != ej.Kind {
+				return ei.Kind < ej.Kind
+			}
+			return ei.Detail < ej.Detail
+		})
 		perSite[site] = merged
 		if e := merged.Elapsed(); e > work {
 			work = e
@@ -130,6 +160,27 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 		Net:     p.q.C.Net.Counters().Sub(p.netStart),
 	}
 	p.q.Phases = append(p.q.Phases, stat)
+
+	if tr := p.q.Trace; tr.Enabled() {
+		// Publish the phase's cluster-wide activity as per-phase gauges,
+		// then advance the virtual clock by the phase's elapsed time. The
+		// gauges read the same counters the PhaseStat snapshots — tracing
+		// observes the cost model, it never feeds back into it.
+		mm := tr.Metrics()
+		mm.Gauge("net.tuples.local").Set(stat.Net.TuplesLocal)
+		mm.Gauge("net.tuples.remote").Set(stat.Net.TuplesRemote)
+		mm.Gauge("net.packets.local").Set(stat.Net.PacketsLocal)
+		mm.Gauge("net.packets.remote").Set(stat.Net.PacketsRemote)
+		mm.Gauge("net.bytes.wire").Set(stat.Net.BytesOnWire)
+		mm.Gauge("net.packets.retransmitted").Set(stat.Net.PacketsRetransmitted)
+		mm.Gauge("net.packets.duplicated").Set(stat.Net.PacketsDuplicated)
+		dd := p.q.C.DiskCounters().Sub(p.diskStart)
+		mm.Gauge("disk.pages.read").Set(dd.PagesRead)
+		mm.Gauge("disk.pages.written").Set(dd.PagesWritten)
+		mm.Gauge("disk.read.retries").Set(dd.ReadRetries)
+		mm.Gauge("disk.file.switches").Set(dd.FileSwitches)
+		tr.EndPhase(work, sched)
+	}
 	return stat.Elapsed()
 }
 

@@ -226,11 +226,15 @@ func (s *Sender) flush(k streamKey, b *Batch) {
 			s.net.packetsRetransmitted.Add(1)
 			s.net.bytesOnWire.Add(int64(m.P.PacketBytes))
 		}
+		if retrans > 0 {
+			s.a.Note("net.retransmit", int64(retrans))
+		}
 		if dups > 0 {
 			b.Dups = dups
 			s.a.AddNet(int64(dups) * m.PacketWire)
 			s.net.packetsDuplicated.Add(int64(dups))
 			s.net.bytesOnWire.Add(int64(dups) * int64(m.P.PacketBytes))
+			s.a.Note("net.duplicate", int64(dups))
 		}
 	}
 	delete(s.bufs, k)

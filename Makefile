@@ -1,7 +1,7 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build lint test race bench determinism chaos trace clean
+.PHONY: all build lint test race bench determinism chaos trace avail clean
 
 all: build lint test
 
@@ -61,8 +61,31 @@ trace:
 	diff -r /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2
 	@echo "trace gate: OK ($$(ls /tmp/gammajoin-trace-1/*.trace.json | wc -l) timelines byte-identical)"
 
+# avail is the availability gate: joinABprime across all four algorithms
+# under a crash-only fault schedule, mirrors off (query-restart rung) and on
+# (chained-declustered failover rung), each twice under the race detector
+# with byte-identical output required. The mirrored runs must report zero
+# restarts — see docs/FAULTS.md, "The recovery ladder".
+AVAIL_FLAGS = -exp fig5 -outer 8000 -inner 800 -fault-seed 7 -fault-crash 0.05
+avail:
+	@for mode in "" "-mirror"; do \
+		echo "avail: crash sweep $${mode:-"(restart rung)"}"; \
+		$(GO) run -race ./cmd/gammabench $(AVAIL_FLAGS) $$mode > /tmp/gammajoin-avail-1.txt || exit 1; \
+		$(GO) run -race ./cmd/gammabench $(AVAIL_FLAGS) $$mode > /tmp/gammajoin-avail-2.txt || exit 1; \
+		cmp /tmp/gammajoin-avail-1.txt /tmp/gammajoin-avail-2.txt || exit 1; \
+	done
+	@rec=$$(grep "^recovery:" /tmp/gammajoin-avail-1.txt); \
+	echo "avail (mirrored): $$rec"; \
+	echo "$$rec" | grep -q ", 0 restarts," \
+		|| { echo "avail gate: mirrored sweep restarted"; exit 1; }; \
+	if echo "$$rec" | grep -q ", 0 failed over,"; then \
+		echo "avail gate: mirrored sweep never failed over"; exit 1; \
+	fi
+	@echo "avail gate: OK"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
 	rm -f /tmp/gammajoin-chaos-1.txt /tmp/gammajoin-chaos-2.txt
 	rm -rf /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2
+	rm -f /tmp/gammajoin-avail-1.txt /tmp/gammajoin-avail-2.txt

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
 	"gammajoin/internal/experiments"
 	"gammajoin/internal/fault"
 )
@@ -55,7 +56,10 @@ func main() {
 		faultNet   = flag.Float64("fault-net", 0, "network packet drop probability per remote packet")
 		faultDup   = flag.Float64("fault-dup", 0, "network packet duplication probability per remote packet")
 		faultMem   = flag.Float64("fault-mem", 0, "per-phase probability of a memory-budget change at the join sites")
-		faultCrash = flag.Float64("fault-crash", 0, "per-phase per-site crash probability (recovered by query restart)")
+		faultCrash = flag.Float64("fault-crash", 0, "per-phase per-site crash probability (recovered by failover or query restart)")
+
+		mirror        = flag.Bool("mirror", false, "chained-declustered mirrors: back each disk site's fragments up on its ring neighbor so a single crash fails over instead of restarting")
+		detectTimeout = flag.Float64("detect-timeout", 0, "failure-detection heartbeat period in simulated ms (0 keeps the cost model's default period and miss count)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,16 @@ func main() {
 		}
 	}
 
+	cfg.Mirror = *mirror
+	if *detectTimeout > 0 {
+		// A -detect-timeout of T declares a site dead T simulated ms after
+		// its last heartbeat: one heartbeat period of T ms, one missed beat.
+		p := cost.DefaultParams()
+		p.HeartbeatMs = *detectTimeout
+		p.HeartbeatMisses = 1
+		cfg.Model = cost.NewModel(p)
+	}
+
 	cfg.TraceDir = *traceDir
 
 	h := experiments.NewHarness(cfg)
@@ -109,6 +123,9 @@ func main() {
 	if f := cfg.Faults; f != nil {
 		fmt.Printf("faults: seed %d disk %.3g drop %.3g dup %.3g mem %.3g crash %.3g\n",
 			f.Seed, f.DiskReadRate, f.NetDropRate, f.NetDupRate, f.MemPressureRate, f.CrashRate)
+	}
+	if cfg.Mirror {
+		fmt.Println("mirrors: chained declustering on (each disk site backed up by its ring neighbor)")
 	}
 	fmt.Println()
 
@@ -153,6 +170,19 @@ func main() {
 			fmt.Printf("[%s took %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	printRecovery(h)
+}
+
+// printRecovery summarizes the recovery ladder's work across every faulted
+// run: one line, only when fault injection was on.
+func printRecovery(h *experiments.Harness) {
+	if h.Config().Faults == nil {
+		return
+	}
+	r := h.Recovery()
+	fmt.Printf("recovery: %d runs, %d restarts, %d failed over, %d phases redone, %.2fs wasted, %.2fs detecting, %d mirror page reads\n",
+		r.Runs, r.Restarts, r.FailedOver, r.PhasesRedone,
+		r.WastedWork.Seconds(), r.DetectionDelay.Seconds(), r.MirrorReads)
 }
 
 // parseAlg maps a flag value to an algorithm.
@@ -186,6 +216,11 @@ func runSingle(h *experiments.Harness, algName string, ratio float64, traceOut, 
 		a, ratio, rep.Response.Seconds(), len(rep.Phases), rep.Buckets)
 	fmt.Printf("disk-site cpu utilization %.1f%%, bottleneck busy %.2fs, forming local fraction %.2f\n",
 		100*rep.UtilDisk, rep.BottleneckBusy.Seconds(), rep.FormingLocalFrac())
+	if rep.FailedOver > 0 {
+		fmt.Printf("failed over %d crash(es) at sites %v: %d phases redone, %d mirror page reads, %.2fs wasted, %.2fs detecting\n",
+			rep.FailedOver, rep.DeadSites, rep.PhasesRedone, rep.MirrorReads,
+			rep.WastedWork.Seconds(), rep.DetectionDelay.Seconds())
+	}
 	if rep.Restarts > 0 {
 		fmt.Printf("recovered from %d crash(es) at sites %v, wasting %.2fs\n",
 			rep.Restarts, rep.DeadSites, rep.WastedWork.Seconds())

@@ -34,10 +34,11 @@ const faultPointDirective = "gammavet:faultpoint"
 // faultOwners maps each Registry decision method to the package allowed to
 // call it.
 var faultOwners = map[string]string{
-	"ReadRetries": "internal/disk",
-	"PacketFate":  "internal/netsim",
-	"MemFactor":   "internal/core",
-	"CrashSiteAt": "internal/core",
+	"ReadRetries":      "internal/disk",
+	"PacketFate":       "internal/netsim",
+	"MemFactor":        "internal/core",
+	"CrashSiteAt":      "internal/core",
+	"DetectExtraBeats": "internal/netsim",
 }
 
 func runFaultPoint(p *Pass) error {

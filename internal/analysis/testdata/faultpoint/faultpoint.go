@@ -28,6 +28,11 @@ func stolenCrash(r *fault.Registry) bool {
 	return ok
 }
 
+// stolenDetect reads the failure-detection jitter outside internal/netsim.
+func stolenDetect(r *fault.Registry) int {
+	return r.DetectExtraBeats(3) // want `fault.Registry.DetectExtraBeats consumed outside internal/netsim`
+}
+
 // justifiedProbe carries the directive, as a registry-probing test would.
 func justifiedProbe(r *fault.Registry) int {
 	return r.ReadRetries(0, 1) //gammavet:faultpoint probing the schedule directly

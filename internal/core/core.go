@@ -177,12 +177,26 @@ type Report struct {
 	// Recovery accounting (fault injection, docs/FAULTS.md). Restarts is
 	// how many attempts were abandoned to injected site crashes before
 	// this successful one; DeadSites lists the crashed sites in failure
-	// order; WastedWork is the simulated response time accumulated by the
-	// abandoned attempts (their phases ran for nothing). Response covers
-	// only the successful attempt.
+	// order; WastedWork is the simulated response time that had to be
+	// re-run: whole abandoned attempts plus, under mirrored failover, the
+	// crashed unit's completed phases. Response covers only the successful
+	// attempt (including its detection and redo phases).
 	Restarts   int
 	DeadSites  []int
 	WastedWork time.Duration
+
+	// Graceful-degradation accounting (the recovery ladder's middle
+	// rungs). FailedOver counts crashes absorbed by chained-declustered
+	// mirrors without a restart; PhasesRedone counts completed phases
+	// re-run because their unit's crash was absorbed; MirrorReads is the
+	// number of failover page reads served by backup disks during the
+	// successful attempt; DetectionDelay is the total simulated time the
+	// failure detector spent declaring sites dead (charged to Response on
+	// the successful attempt, to WastedWork on abandoned ones).
+	FailedOver     int
+	PhasesRedone   int
+	MirrorReads    int64
+	DetectionDelay time.Duration
 
 	// Trace is the execution's simulated-time timeline: one span per
 	// operator process per phase (abandoned attempts included), fault
@@ -219,23 +233,31 @@ func (e *SiteFailure) Unwrap() error { return ErrSiteFailed }
 // report. The execution is real — every tuple is hashed, routed, and joined
 // — while response time comes from the cluster's cost model.
 //
-// When the cluster's fault registry injects a site crash, the attempt is
+// When the cluster's fault registry injects a site crash, the recovery
+// ladder (docs/FAULTS.md) escalates instead of restarting outright: with
+// chained mirrors enabled (Cluster.EnableMirrors), the dead site's roles
+// move to its ring neighbor and only the crashed unit re-runs; otherwise —
+// or when a second failure breaks the mirror chain — the attempt is
 // abandoned and the query restarts from scratch on the surviving join
 // sites (joins never mutate the base relations, so a fresh attempt is
-// always safe; a crashed site's disk is assumed to stay readable, per
-// Gamma's mirrored-disk storage organization — see docs/FAULTS.md). The
-// report of the successful attempt carries the restart count, the dead
-// sites, and the simulated time the abandoned attempts wasted.
+// always safe; a crashed site's disk is assumed to stay readable — see
+// docs/FAULTS.md). The report of the successful attempt carries the
+// restart/failover counts, the dead sites, and the simulated time the
+// recovery wasted.
 func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 	var (
-		restarts int
-		dead     []int
-		wasted   time.Duration
+		restarts     int
+		dead         []int
+		wasted       time.Duration
+		failedOver   int
+		phasesRedone int
+		detection    time.Duration
 	)
 	// One recorder spans every attempt: its virtual clock keeps running
 	// through restarts, so abandoned attempts stay visible on the timeline
 	// as the wasted work they were.
 	rec := c.NewTraceRecorder()
+	diskStart := c.DiskCounters()
 	for {
 		rec.NewAttempt()
 		rc, err := newRunCtx(c, &spec, rec)
@@ -254,21 +276,33 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 		default:
 			return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
 		}
+		// Accumulate the ladder's middle-rung stats whether or not the
+		// attempt survived — failovers absorbed before a later escalation
+		// still happened.
+		failedOver += rc.failedOver
+		phasesRedone += rc.phasesRedone
+		detection += rc.detectionDelay
+		dead = append(dead, rc.deadSites...)
 		var sf *SiteFailure
 		if errors.As(err, &sf) {
+			// The abandoned attempt's whole response — detection and redo
+			// phases included, so rc.wastedRedo is already in there — is
+			// wasted work.
 			wasted += rc.q.Response()
 			restarts++
 			dead = append(dead, sf.Site)
 			rec.Instant(sf.Site, "restart", fmt.Sprintf("attempt %d abandoned entering %q", restarts, sf.Phase))
+			mm := rec.Metrics()
+			mm.Counter("recovery.restarts").Add(1)
+			// The restart rung falls back to the storage-survives model:
+			// revive every marked-dead site's disk (its data is re-read
+			// from base fragments and mirrors as before) and re-plan on
+			// the survivors only.
+			c.ReviveAll()
 			if restarts > len(c.Sites) {
 				return nil, fmt.Errorf("core: giving up after %d restarts: %w", restarts, err)
 			}
-			var alive []int
-			for _, s := range rc.joinSites {
-				if s != sf.Site {
-					alive = append(alive, s)
-				}
-			}
+			alive := withoutSite(rc.joinSites, sf.Site)
 			if len(alive) == 0 {
 				return nil, fmt.Errorf("core: no join sites survive: %w", err)
 			}
@@ -281,7 +315,14 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 		rep := rc.report()
 		rep.Restarts = restarts
 		rep.DeadSites = dead
-		rep.WastedWork = wasted
+		rep.WastedWork = wasted + rc.wastedRedo
+		rep.FailedOver = failedOver
+		rep.PhasesRedone = phasesRedone
+		rep.DetectionDelay = detection
+		rep.MirrorReads = c.DiskCounters().Sub(diskStart).MirrorReads
+		// Failures are scoped to the query: hand the cluster back healthy
+		// so a shared harness cluster is not poisoned for the next run.
+		c.ReviveAll()
 		return rep, nil
 	}
 }

@@ -96,11 +96,18 @@ func TestCrashRecoveryDuringBuild(t *testing.T) {
 		if len(rep.DeadSites) != 1 || rep.DeadSites[0] != 3 {
 			t.Errorf("%v: dead sites = %v, want [3]", alg, rep.DeadSites)
 		}
-		if buildPhase[alg] > 0 && rep.WastedWork <= 0 {
-			t.Errorf("%v: crash after phase %d wasted no work", alg, buildPhase[alg])
+		// Both rungs of the recovery ladder now charge the failure
+		// detector's declaration latency, so even a crash before any
+		// phase ran wastes exactly the detection delay; a later crash
+		// additionally wastes the completed phases.
+		if rep.DetectionDelay <= 0 {
+			t.Errorf("%v: crash declared with no detection delay", alg)
 		}
-		if buildPhase[alg] == 0 && rep.WastedWork != 0 {
-			t.Errorf("%v: crash before any phase wasted %v", alg, rep.WastedWork)
+		if buildPhase[alg] > 0 && rep.WastedWork <= rep.DetectionDelay {
+			t.Errorf("%v: crash after phase %d wasted only %v (detection %v)", alg, buildPhase[alg], rep.WastedWork, rep.DetectionDelay)
+		}
+		if buildPhase[alg] == 0 && rep.WastedWork != rep.DetectionDelay {
+			t.Errorf("%v: crash before any phase wasted %v, want the detection delay %v", alg, rep.WastedWork, rep.DetectionDelay)
 		}
 	}
 }

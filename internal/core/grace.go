@@ -50,10 +50,19 @@ func (rc *runCtx) runGrace() error {
 	}
 	ff := rc.makeFormingFilters(0, nb)
 
-	if err := rc.formPhase("form R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, pt, rb, 0, ff, true); err != nil {
+	// Each forming pass is one redo-able unit: a crash fires at phase
+	// entry, so the bucket files have no partial appends and re-running
+	// the pass from the (durable, mirror-covered) base fragments is exact.
+	// The forming filters and split table survive a failover — Gamma ships
+	// them in scheduler control packets, so they are not lost with a site.
+	if err := rc.runUnit(func() error {
+		return rc.formPhase("form R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, pt, rb, 0, ff, true)
+	}); err != nil {
 		return err
 	}
-	if err := rc.formPhase("form S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, pt, sb, 0, ff, false); err != nil {
+	if err := rc.runUnit(func() error {
+		return rc.formPhase("form S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, pt, sb, 0, ff, false)
+	}); err != nil {
 		return err
 	}
 

@@ -48,7 +48,10 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, bucket int, rsrc, ssrc []fi
 		// can split it — rehashing cannot help. Fall back to a chunked
 		// block join of the stuck partitions, which always terminates.
 		if cur := totalTuples(rsrc); cur == prevR && level > 0 {
-			return rc.blockJoinLevel(fmt.Sprintf("%s block join L%d", prefix, level+base), bucket, rsrc, ssrc)
+			blockName := fmt.Sprintf("%s block join L%d", prefix, level+base)
+			return rc.runUnit(func() error {
+				return rc.blockJoinLevel(blockName, bucket, rsrc, ssrc)
+			})
 		} else {
 			prevR = cur
 		}
@@ -60,7 +63,17 @@ func (rc *runCtx) hashJoinStreamsPred(prefix string, bucket int, rsrc, ssrc []fi
 		if level == 0 {
 			rp, sp = rPred, sPred
 		}
-		rover, sover, err := rc.joinLevel(name, bucket, rsrc, ssrc, seed+uint64(level), rp, sp)
+		// Each level is one redo-able unit: joinLevel recreates its hash
+		// tables, filters, and (freshly named) overflow temp files per call,
+		// and its inputs — base fragments or the previous level's flushed
+		// overflow files — are durable, so a failover re-runs just this
+		// build/probe pair.
+		var rover, sover []fileAt
+		err := rc.runUnit(func() error {
+			var lerr error
+			rover, sover, lerr = rc.joinLevel(name, bucket, rsrc, ssrc, seed+uint64(level), rp, sp)
+			return lerr
+		})
 		if err != nil {
 			return err
 		}

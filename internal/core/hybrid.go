@@ -22,11 +22,61 @@ import (
 func (rc *runCtx) runHybrid() error {
 	nb := rc.optimizerBuckets(true)
 	rc.buckets = nb
+	seed := rc.spec.HashSeed
+
+	// The two partitioning phases are ONE redo-able unit: bucket 1 lives
+	// only in the join sites' memories between them, so a crash before the
+	// probe completes loses in-memory state and both passes must re-run.
+	// Everything the unit consumes is durable (base fragments, covered by
+	// mirrors); everything it creates — split table, hash tables, filters,
+	// bucket and overflow files (freshly named each attempt via fileSeq) —
+	// is rebuilt inside the closure, over the possibly-shrunken join-site
+	// list. The bucket files that survive the unit feed the later phases.
+	var (
+		rb, sb         []map[int]*wiss.File
+		roverF, soverF map[int]*wiss.File
+	)
+	if err := rc.runUnit(func() error {
+		return rc.hybridPartition(nb, seed, &rb, &sb, &roverF, &soverF)
+	}); err != nil {
+		return err
+	}
+
+	// ---- phases 3..: join the on-disk buckets ----
+	for b := 1; b < nb; b++ {
+		rsrc := rc.bucketSources(rb, b)
+		ssrc := rc.bucketSources(sb, b)
+		if err := rc.hashJoinStreams(fmt.Sprintf("bucket %d", b+1), b, rsrc, ssrc, seed, 0); err != nil {
+			return err
+		}
+	}
+
+	// ---- resolve bucket-1 overflow, if any (AllowOverflow mode) ----
+	var rover, sover []fileAt
+	for _, j := range sortedKeys(roverF) {
+		if roverF[j].Len() > 0 {
+			home := rc.c.OverflowDiskSite(j)
+			rover = append(rover, fileAt{site: home, f: roverF[j]})
+			sover = append(sover, fileAt{site: home, f: soverF[j]})
+		}
+	}
+	if len(rover) > 0 {
+		return rc.hashJoinStreams("bucket 1", 0, rover, sover, seed+1, 1)
+	}
+	return nil
+}
+
+// hybridPartition runs Hybrid's overlapped partitioning passes (Section
+// 3.4): partition R building bucket 1 in memory, then partition S probing
+// it on the fly. The output files are handed back through the pointers so
+// runHybrid's bucket-join phases (and the overflow resolution) read the
+// files of the attempt that actually completed.
+func (rc *runCtx) hybridPartition(nb int, seed uint64,
+	rbOut, sbOut *[]map[int]*wiss.File, roverOut, soverOut *map[int]*wiss.File) error {
 	pt, err := split.NewHybrid(nb, rc.diskSites, rc.joinSites)
 	if err != nil {
 		return err
 	}
-	seed := rc.spec.HashSeed
 
 	tables := make(map[int]*gamma.HashTable, len(rc.joinSites))
 	var filters map[int]*bitfilter.Filter
@@ -57,6 +107,8 @@ func (rc *runCtx) runHybrid() error {
 		return err
 	}
 	ff := rc.makeFormingFilters(1, nb)
+	*rbOut, *sbOut = rb, sb
+	*roverOut, *soverOut = roverF, soverF
 
 	// ---- phase 1: partition R, building bucket 1 in memory ----
 	partR := phaseSpec{
@@ -206,32 +258,7 @@ func (rc *runCtx) runHybrid() error {
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	if err := rc.runPhase(partS); err != nil {
-		return err
-	}
-
-	// ---- phases 3..: join the on-disk buckets ----
-	for b := 1; b < nb; b++ {
-		rsrc := rc.bucketSources(rb, b)
-		ssrc := rc.bucketSources(sb, b)
-		if err := rc.hashJoinStreams(fmt.Sprintf("bucket %d", b+1), b, rsrc, ssrc, seed, 0); err != nil {
-			return err
-		}
-	}
-
-	// ---- resolve bucket-1 overflow, if any (AllowOverflow mode) ----
-	var rover, sover []fileAt
-	for _, j := range rc.joinSites {
-		if roverF[j].Len() > 0 {
-			home := rc.c.OverflowDiskSite(j)
-			rover = append(rover, fileAt{site: home, f: roverF[j]})
-			sover = append(sover, fileAt{site: home, f: soverF[j]})
-		}
-	}
-	if len(rover) > 0 {
-		return rc.hashJoinStreams("bucket 1", 0, rover, sover, seed+1, 1)
-	}
-	return nil
+	return rc.runPhase(partS)
 }
 
 // hybridConsumers installs one consumer per site participating in a Hybrid

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -80,6 +81,16 @@ type runCtx struct {
 	// result store state per disk site
 	storeCount map[int]*int64
 	fileSeq    int
+
+	// Recovery-ladder state for this attempt (docs/FAULTS.md). failover
+	// moves a crashed site's roles to its ring neighbor instead of
+	// abandoning the attempt; runUnit then re-runs only the crashed unit.
+	failedOver     int           // crashes absorbed by mirrored failover
+	deadSites      []int         // sites lost to absorbed crashes, in order
+	phasesRedone   int           // completed phases re-run after a failover
+	wastedRedo     time.Duration // simulated time the redone phases cost
+	detectionDelay time.Duration // heartbeat latency before declaring deaths
+	redoMark       bool          // suffix phase names with " (redo)" until the unit completes
 }
 
 // attachTrace wires the recorder into the run: the query drives its phase
@@ -121,24 +132,9 @@ func newRunCtx(c *gamma.Cluster, spec *Spec, tr *trace.Recorder) (*runCtx, error
 		// Our sort-merge cannot use diskless processors (Section 3.1):
 		// joins always run on the sites holding the sorted fragments. An
 		// explicit JoinSites list (the recovery path excluding a dead
-		// site) filters the disk sites; a list naming only diskless sites
-		// falls back to all disk sites, as before.
-		js = c.DiskSites()
-		if len(spec.JoinSites) > 0 {
-			allowed := make(map[int]bool, len(spec.JoinSites))
-			for _, s := range spec.JoinSites {
-				allowed[s] = true
-			}
-			var kept []int
-			for _, s := range js {
-				if allowed[s] {
-					kept = append(kept, s)
-				}
-			}
-			if len(kept) > 0 {
-				js = kept
-			}
-		}
+		// site) restricts the disk sites; a list naming only diskless
+		// sites falls back to all disk sites, as before.
+		js = intersectSites(c.DiskSites(), spec.JoinSites)
 	}
 	for _, s := range js {
 		if s < 0 || s >= len(c.Sites) {
@@ -453,21 +449,43 @@ func sortedKeys[V any](m map[int]V) []int {
 	return keys
 }
 
+// newPhaseSender builds the sender for a logical site's worker: packets
+// keep the logical source (consumer-side replay order and the fault
+// schedule's packet coordinates stay independent of failover), while the
+// short-circuit test follows the physical host map once any site is dead.
+func (rc *runCtx) newPhaseSender(a *cost.Acct, site int, deliver func(int, *netsim.Batch)) *netsim.Sender {
+	snd := rc.c.Net.NewSender(a, site, deliver)
+	if rc.c.DeadCount() > 0 {
+		snd.SetColocated(rc.c.Colocated(site))
+	}
+	return snd
+}
+
 // runPhase executes one phase: solo workers and producers run first-stage,
 // consumers drain the first exchange (and may emit to the second), writers
 // drain the second exchange.
+//
+// Roles are keyed by *logical* site; each launch resolves the physical
+// executor through the cluster's host map, so after a failover the dead
+// site's roles run (and are charged, and traced) on its ring neighbor while
+// the dataflow — exchange channels, split tables, batch sources — is
+// untouched.
 func (rc *runCtx) runPhase(ps phaseSpec) error {
 	// Injected site crashes surface at the phase boundary — Gamma's
 	// scheduler notices a dead operator process when it tries to start the
 	// next phase's operators there. Aborting before any goroutine is
 	// launched keeps the failure clean: no partial phase charges, no
 	// leaked workers, and the query's phase list still matches what
-	// actually ran. The runner (Run) restarts without the dead site.
+	// actually ran. The recovery ladder (runUnit/Run) takes it from there.
 	if site, ok := rc.c.Faults.CrashSiteAt(len(rc.q.Phases), rc.joinSites); ok {
 		rc.tr.Instant(site, "crash", ps.name)
 		return &SiteFailure{Site: site, Phase: ps.name}
 	}
-	p := rc.q.NewPhase(ps.name)
+	name := ps.name
+	if rc.redoMark {
+		name += " (redo)"
+	}
+	p := rc.q.NewPhase(name)
 	ex1 := rc.c.NewExchange()
 	ex2 := rc.c.NewExchange()
 	bucket := ps.traceBucket()
@@ -475,60 +493,64 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 	var writers sync.WaitGroup
 	for _, site := range sortedKeys(ps.write) {
 		fn := ps.write[site]
+		exec := rc.c.AliveHost(site)
 		writers.Add(1)
-		go func(site int, fn writerFn) {
+		go func(site, exec int, fn writerFn) {
 			defer writers.Done()
-			a := p.Acct(site)
-			sp := rc.tr.Start(site, ps.op("write"), "write", bucket)
+			a := p.Acct(exec)
+			sp := rc.tr.Start(exec, ps.op("write"), "write", bucket)
 			defer sp.Close(a)
 			fn(a, drainSorted(rc.c.Net, a, ex2.Chan(site)))
-		}(site, fn)
+		}(site, exec, fn)
 	}
 
 	var consumers sync.WaitGroup
 	for _, site := range sortedKeys(ps.consume) {
 		fn := ps.consume[site]
+		exec := rc.c.AliveHost(site)
 		consumers.Add(1)
-		go func(site int, fn consumerFn) {
+		go func(site, exec int, fn consumerFn) {
 			defer consumers.Done()
-			a := p.Acct(site)
-			sp := rc.tr.Start(site, ps.op("consume"), "consume", bucket)
+			a := p.Acct(exec)
+			sp := rc.tr.Start(exec, ps.op("consume"), "consume", bucket)
 			defer sp.Close(a)
-			snd := rc.c.Net.NewSender(a, site, ex2.Deliver)
+			snd := rc.newPhaseSender(a, site, ex2.Deliver)
 			fn(a, snd, drainSorted(rc.c.Net, a, ex1.Chan(site)))
 			snd.FlushAll()
-		}(site, fn)
+		}(site, exec, fn)
 	}
 
 	var producers sync.WaitGroup
 	for _, site := range sortedKeys(ps.produce) {
 		fns := ps.produce[site]
+		exec := rc.c.AliveHost(site)
 		producers.Add(1)
-		go func(site int, fns []producerFn) {
+		go func(site, exec int, fns []producerFn) {
 			defer producers.Done()
-			a := p.Acct(site)
-			sp := rc.tr.Start(site, ps.op("produce"), "produce", bucket)
+			a := p.Acct(exec)
+			sp := rc.tr.Start(exec, ps.op("produce"), "produce", bucket)
 			defer sp.Close(a)
-			snd := rc.c.Net.NewSender(a, site, ex1.Deliver)
+			snd := rc.newPhaseSender(a, site, ex1.Deliver)
 			for _, fn := range fns {
 				fn(a, snd)
 			}
 			snd.FlushAll()
-		}(site, fns)
+		}(site, exec, fns)
 	}
 	var solos sync.WaitGroup
 	for _, site := range sortedKeys(ps.solo) {
 		fns := ps.solo[site]
+		exec := rc.c.AliveHost(site)
 		solos.Add(1)
-		go func(site int, fns []func(*cost.Acct)) {
+		go func(exec int, fns []func(*cost.Acct)) {
 			defer solos.Done()
-			a := p.Acct(site)
-			sp := rc.tr.Start(site, ps.op("solo"), "solo", bucket)
+			a := p.Acct(exec)
+			sp := rc.tr.Start(exec, ps.op("solo"), "solo", bucket)
 			defer sp.Close(a)
 			for _, fn := range fns {
 				fn(a)
 			}
-		}(site, fns)
+		}(exec, fns)
 	}
 
 	producers.Wait()
@@ -543,6 +565,73 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 	}
 	p.End(ps.end)
 	return rc.takeErr()
+}
+
+// runUnit executes one redo-able unit of the join — a group of phases whose
+// inputs are all durable (base fragments, bucket files, flushed temp files)
+// so re-running it from the top is side-effect-free. Crashes fire at phase
+// entry, before any goroutine runs, so an aborted unit never emitted result
+// tuples or appended to its output files; fn must therefore be re-entrant:
+// it recreates its hash tables, filters, and temp files on each call.
+//
+// On a *SiteFailure, runUnit climbs the recovery ladder: if a mirrored
+// failover absorbs the crash, the unit re-runs with the dead site's roles
+// adopted by its ring neighbor and only the unit's completed phases count
+// as waste; otherwise the failure escalates to Run's full-restart rung.
+func (rc *runCtx) runUnit(fn func() error) error {
+	for {
+		startPhases := len(rc.q.Phases)
+		startResp := rc.q.Response()
+		err := fn()
+		var sf *SiteFailure
+		if !errors.As(err, &sf) {
+			if err == nil {
+				rc.redoMark = false
+			}
+			return err
+		}
+		// Measure the waste before failover appends its detection phase.
+		lost := rc.q.Response() - startResp
+		redone := len(rc.q.Phases) - startPhases
+		if !rc.failover(sf) {
+			return err
+		}
+		rc.wastedRedo += lost
+		rc.phasesRedone += redone
+		rc.tr.Metrics().Counter("recovery.phases.redone").Add(int64(redone))
+		rc.redoMark = true
+	}
+}
+
+// failover is rung (b)+(c) of the recovery ladder: charge the failure
+// detector's declaration latency, then — if chained mirrors can cover the
+// dead site — move its roles to the ring neighbor and shrink the join-site
+// list. Returns false when the crash must escalate to a full restart
+// (mirrors disabled, the mirror chain already broken by an earlier death,
+// or no join site left).
+func (rc *runCtx) failover(sf *SiteFailure) bool {
+	c := rc.c
+	// Both rungs pay detection: the scheduler only learns of the death at
+	// the next heartbeat-grid declaration instant. The delay lands on the
+	// query clock (and the timeline) as a scheduler-only pseudo-phase.
+	delay := time.Duration(c.Net.DetectionDelay(sf.Site, rc.tr.Now()))
+	rc.q.AddDetection(fmt.Sprintf("detect site %d failure", sf.Site), delay)
+	rc.detectionDelay += delay
+	rc.tr.Instant(sf.Site, "detect", fmt.Sprintf("declared dead after %v", delay))
+	if !c.Mirrored() || c.MirrorLost(sf.Site) {
+		return false
+	}
+	alive := withoutSite(rc.joinSites, sf.Site)
+	if len(alive) == 0 {
+		return false
+	}
+	c.MarkDead(sf.Site)
+	rc.joinSites = alive
+	rc.failedOver++
+	rc.deadSites = append(rc.deadSites, sf.Site)
+	rc.tr.Metrics().Counter("recovery.failover").Add(1)
+	rc.tr.Instant(sf.Site, "failover", fmt.Sprintf("roles adopted by site %d", c.AliveHost(sf.Site)))
+	return true
 }
 
 // emitResult counts, optionally collects, and optionally routes one result

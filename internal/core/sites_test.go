@@ -1,0 +1,51 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIntersectSites(t *testing.T) {
+	cases := []struct {
+		name          string
+		base, allowed []int
+		want          []int
+	}{
+		{"no restriction", []int{0, 1, 2}, nil, []int{0, 1, 2}},
+		{"empty restriction slice", []int{0, 1, 2}, []int{}, []int{0, 1, 2}},
+		{"subset keeps base order", []int{0, 1, 2, 3}, []int{3, 1}, []int{1, 3}},
+		{"full overlap", []int{4, 5}, []int{5, 4}, []int{4, 5}},
+		{"disjoint falls back to base", []int{0, 1}, []int{7, 8}, []int{0, 1}},
+	}
+	for _, c := range cases {
+		if got := intersectSites(c.base, c.allowed); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: intersectSites(%v, %v) = %v, want %v", c.name, c.base, c.allowed, got, c.want)
+		}
+	}
+}
+
+func TestWithoutSite(t *testing.T) {
+	cases := []struct {
+		name  string
+		sites []int
+		dead  int
+		want  []int
+	}{
+		{"removes the dead site", []int{0, 1, 2, 3}, 2, []int{0, 1, 3}},
+		{"absent site is a no-op", []int{0, 1}, 7, []int{0, 1}},
+		{"last survivor removed", []int{5}, 5, []int{}},
+	}
+	for _, c := range cases {
+		if got := withoutSite(c.sites, c.dead); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: withoutSite(%v, %d) = %v, want %v", c.name, c.sites, c.dead, got, c.want)
+		}
+	}
+}
+
+func TestWithoutSiteDoesNotMutateInput(t *testing.T) {
+	sites := []int{0, 1, 2}
+	withoutSite(sites, 1)
+	if !reflect.DeepEqual(sites, []int{0, 1, 2}) {
+		t.Errorf("input mutated: %v", sites)
+	}
+}

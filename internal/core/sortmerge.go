@@ -61,20 +61,37 @@ func (rc *runCtx) runSortMerge() error {
 		}
 	}
 
+	// Each of sort-merge's five phases is its own redo-able unit: every
+	// phase reads only durable inputs (base fragments or the previous
+	// phase's flushed temp files) and a crash fires at phase entry, before
+	// anything was appended — so after a failover the phase simply re-runs
+	// with the dead site's scan/sort/merge/store roles adopted by its ring
+	// neighbor and its files served from the mirror. The sort/merge plan
+	// keeps the ORIGINAL site layout: the dead site's partitions stay
+	// where its (mirrored) disk put them, no re-split needed.
+
 	// Partition R across the join sites, building per-site bit filters.
-	if err := rc.smPartition("partition R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, jt, tmpR, filters, true); err != nil {
+	if err := rc.runUnit(func() error {
+		return rc.smPartition("partition R", rc.spec.R, rc.spec.RAttr, rc.spec.RPred, jt, tmpR, filters, true)
+	}); err != nil {
 		return err
 	}
-	if err := rc.sortPhase("sort R", tmpR, srtR, rc.spec.RAttr, memPerSite, &rc.sortPassesR); err != nil {
+	if err := rc.runUnit(func() error {
+		return rc.sortPhase("sort R", tmpR, srtR, rc.spec.RAttr, memPerSite, &rc.sortPassesR)
+	}); err != nil {
 		return err
 	}
 
 	// Partition S; the filter eliminates non-joining tuples before they
 	// are written to disk.
-	if err := rc.smPartition("partition S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, jt, tmpS, filters, false); err != nil {
+	if err := rc.runUnit(func() error {
+		return rc.smPartition("partition S", rc.spec.S, rc.spec.SAttr, rc.spec.SPred, jt, tmpS, filters, false)
+	}); err != nil {
 		return err
 	}
-	if err := rc.sortPhase("sort S", tmpS, srtS, rc.spec.SAttr, memPerSite, &rc.sortPassesS); err != nil {
+	if err := rc.runUnit(func() error {
+		return rc.sortPhase("sort S", tmpS, srtS, rc.spec.SAttr, memPerSite, &rc.sortPassesS)
+	}); err != nil {
 		return err
 	}
 
@@ -97,7 +114,7 @@ func (rc *runCtx) runSortMerge() error {
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	return rc.runPhase(merge)
+	return rc.runUnit(func() error { return rc.runPhase(merge) })
 }
 
 // smPartition redistributes one relation through the joining split table

@@ -78,6 +78,15 @@ type Params struct {
 	// site when carving one shared 2 KB packet into per-site bit filters.
 	// 75 bits/site yields the paper's 1973 bits/site with 8 join sites.
 	FilterOverheadBitsPerSite int
+
+	// HeartbeatMs is the failure-detection heartbeat period: every site is
+	// expected to report to the scheduler once per period, so a dead site
+	// is only *suspected* at the next heartbeat boundary after it stops.
+	HeartbeatMs float64
+	// HeartbeatMisses is how many consecutive missed heartbeats the
+	// scheduler tolerates before declaring a site dead (guards against
+	// declaring a merely-slow site failed).
+	HeartbeatMisses int
 }
 
 // DefaultParams returns the Gamma-calibrated parameter set.
@@ -114,6 +123,9 @@ func DefaultParams() Params {
 
 		SplitEntryBytes:           40,
 		FilterOverheadBitsPerSite: 75,
+
+		HeartbeatMs:     250,
+		HeartbeatMisses: 2,
 	}
 }
 
@@ -144,6 +156,9 @@ type Model struct {
 	SeqPage    int64
 	RandPage   int64
 	FileSwitch int64
+
+	Heartbeat       int64 // failure-detection heartbeat period, ns
+	HeartbeatMisses int   // missed heartbeats tolerated before declaring death
 }
 
 // NewModel precomputes nanosecond costs from params.
@@ -178,6 +193,9 @@ func NewModel(p Params) *Model {
 		SeqPage:    ms(p.SeqPageMs),
 		RandPage:   ms(p.RandPageMs),
 		FileSwitch: ms(p.FileSwitchMs),
+
+		Heartbeat:       ms(p.HeartbeatMs),
+		HeartbeatMisses: p.HeartbeatMisses,
 	}
 }
 

@@ -7,6 +7,14 @@
 // consecutive accesses on one arm touch different files — which is what makes
 // forming many bucket files on one disk slightly more expensive than writing
 // one stream.
+//
+// For availability experiments a disk can be chained to a backup arm
+// (chained declustering: site i's fragments are mirrored on site i+1 mod n).
+// While the primary is healthy, every page write is also appended to the
+// backup's mirror log (a flat extra sequential-page charge); when the
+// primary is marked down, reads transparently fail over to the backup at
+// random-access cost — the mirror stores the primary's fragments as a
+// log-structured copy, so failover reads lose the streaming arm position.
 package disk
 
 import (
@@ -27,6 +35,15 @@ type Disk struct {
 	switches     atomic.Int64
 	lastFile     atomic.Int64
 
+	mirrorReads  atomic.Int64
+	mirrorWrites atomic.Int64
+
+	// backup, when non-nil, is the ring neighbor holding this disk's
+	// mirrored fragments. down marks the primary failed: reads and writes
+	// then route to the backup.
+	backup *Disk
+	down   atomic.Bool
+
 	faults *fault.Registry
 }
 
@@ -34,6 +51,20 @@ type Disk struct {
 // failures. Must be called before the disk is shared between goroutines
 // (gamma.Cluster.EnableFaults does this at cluster setup).
 func (d *Disk) SetFaults(r *fault.Registry) { d.faults = r }
+
+// SetBackup chains b as this disk's mirror. Must be called at cluster setup,
+// before the disk is shared between goroutines.
+func (d *Disk) SetBackup(b *Disk) { d.backup = b }
+
+// Backup returns the chained mirror disk, or nil.
+func (d *Disk) Backup() *Disk { return d.backup }
+
+// SetDown marks the disk failed (true) or healthy (false). Only safe at a
+// phase barrier: worker goroutines must not be mid-operation.
+func (d *Disk) SetDown(down bool) { d.down.Store(down) }
+
+// Down reports whether the disk is marked failed.
+func (d *Disk) Down() bool { return d.down.Load() }
 
 // retryFaults rolls for transient read errors and charges each retry as a
 // fresh random access (the arm has lost its streaming position, so the
@@ -67,9 +98,34 @@ func (d *Disk) switchPenalty(a *cost.Acct, fileID int64) {
 	}
 }
 
+// mirrorRead charges one failover read against the backup arm. Mirror pages
+// live in the backup's log-structured mirror area, so every failover read is
+// a random access; the backup's own lastFile/switch state is deliberately
+// untouched (concurrent failover readers would otherwise race the mirror's
+// arm position and make FileSwitches schedule-dependent). The transient-read
+// fault schedule stays keyed to the *primary's* identity so a mirrored run
+// consumes the same dice as an unmirrored one.
+func (d *Disk) mirrorRead(a *cost.Acct, fileID int64) {
+	d.backup.pagesRead.Add(1)
+	d.backup.mirrorReads.Add(1)
+	a.AddDisk(d.model.RandPage)
+	a.Note("disk.mirror.read", fileID)
+	n := d.faults.ReadRetries(d.id, fileID)
+	for i := 0; i < n; i++ {
+		d.backup.readRetries.Add(1)
+		d.backup.pagesRead.Add(1)
+		a.AddDisk(d.model.RandPage)
+		a.Note("disk.retry", fileID)
+	}
+}
+
 // ReadSeq charges one sequential page read on behalf of the accounting
 // context a. fileID identifies the file for arm-movement accounting.
 func (d *Disk) ReadSeq(a *cost.Acct, fileID int64) {
+	if d.down.Load() && d.backup != nil {
+		d.mirrorRead(a, fileID)
+		return
+	}
 	d.switchPenalty(a, fileID)
 	d.pagesRead.Add(1)
 	a.AddDisk(d.model.SeqPage)
@@ -78,17 +134,36 @@ func (d *Disk) ReadSeq(a *cost.Acct, fileID int64) {
 
 // ReadRand charges one random page read.
 func (d *Disk) ReadRand(a *cost.Acct, fileID int64) {
+	if d.down.Load() && d.backup != nil {
+		d.mirrorRead(a, fileID)
+		return
+	}
 	d.lastFile.Store(fileID)
 	d.pagesRead.Add(1)
 	a.AddDisk(d.model.RandPage)
 	d.retryFaults(a, fileID)
 }
 
-// WritePage charges one streaming page write.
+// WritePage charges one streaming page write. With a backup chained, the
+// page is also appended to the mirror log: one extra sequential-page charge
+// (the writes are serialized through the host's disk process, Gamma's
+// mirrored-write discipline) and a backup-side counter tick, with no
+// arm-switch accounting on the backup (the mirror log is append-only).
 func (d *Disk) WritePage(a *cost.Acct, fileID int64) {
+	if d.down.Load() && d.backup != nil {
+		d.backup.pagesWritten.Add(1)
+		d.backup.mirrorWrites.Add(1)
+		a.AddDisk(d.model.SeqPage)
+		return
+	}
 	d.switchPenalty(a, fileID)
 	d.pagesWritten.Add(1)
 	a.AddDisk(d.model.SeqPage)
+	if d.backup != nil {
+		d.backup.pagesWritten.Add(1)
+		d.backup.mirrorWrites.Add(1)
+		a.AddDisk(d.model.SeqPage)
+	}
 }
 
 // Counters is a snapshot of a disk's activity.
@@ -97,6 +172,8 @@ type Counters struct {
 	PagesWritten int64
 	ReadRetries  int64
 	FileSwitches int64
+	MirrorReads  int64
+	MirrorWrites int64
 }
 
 // Counters returns a snapshot of the disk's counters.
@@ -106,6 +183,8 @@ func (d *Disk) Counters() Counters {
 		PagesWritten: d.pagesWritten.Load(),
 		ReadRetries:  d.readRetries.Load(),
 		FileSwitches: d.switches.Load(),
+		MirrorReads:  d.mirrorReads.Load(),
+		MirrorWrites: d.mirrorWrites.Load(),
 	}
 }
 
@@ -116,6 +195,8 @@ func (c Counters) Sub(o Counters) Counters {
 		PagesWritten: c.PagesWritten - o.PagesWritten,
 		ReadRetries:  c.ReadRetries - o.ReadRetries,
 		FileSwitches: c.FileSwitches - o.FileSwitches,
+		MirrorReads:  c.MirrorReads - o.MirrorReads,
+		MirrorWrites: c.MirrorWrites - o.MirrorWrites,
 	}
 }
 
@@ -126,5 +207,7 @@ func (c Counters) Add(o Counters) Counters {
 		PagesWritten: c.PagesWritten + o.PagesWritten,
 		ReadRetries:  c.ReadRetries + o.ReadRetries,
 		FileSwitches: c.FileSwitches + o.FileSwitches,
+		MirrorReads:  c.MirrorReads + o.MirrorReads,
+		MirrorWrites: c.MirrorWrites + o.MirrorWrites,
 	}
 }

@@ -55,12 +55,12 @@ func TestRandomReadCostsMore(t *testing.T) {
 }
 
 func TestCountersSubAdd(t *testing.T) {
-	a := Counters{10, 20, 2, 3}
-	b := Counters{4, 5, 1, 1}
-	if got := a.Sub(b); got != (Counters{6, 15, 1, 2}) {
+	a := Counters{10, 20, 2, 3, 6, 8}
+	b := Counters{4, 5, 1, 1, 2, 3}
+	if got := a.Sub(b); got != (Counters{6, 15, 1, 2, 4, 5}) {
 		t.Fatalf("Sub = %+v", got)
 	}
-	if got := a.Add(b); got != (Counters{14, 25, 3, 4}) {
+	if got := a.Add(b); got != (Counters{14, 25, 3, 4, 8, 11}) {
 		t.Fatalf("Add = %+v", got)
 	}
 }

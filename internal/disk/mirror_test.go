@@ -1,0 +1,109 @@
+package disk
+
+import (
+	"testing"
+
+	"gammajoin/internal/cost"
+)
+
+func TestMirroredWriteDoubleCharges(t *testing.T) {
+	m := cost.Default()
+	d0, d1 := New(0, m), New(1, m)
+	d0.SetBackup(d1)
+	var a cost.Acct
+	d0.WritePage(&a, 1)
+	// Primary pays the switch + page; the mirror append is one extra
+	// sequential page on the backup arm.
+	want := m.FileSwitch + 2*m.SeqPage
+	if a.Disk != want {
+		t.Fatalf("Disk time = %d, want %d", a.Disk, want)
+	}
+	c0, c1 := d0.Counters(), d1.Counters()
+	if c0.PagesWritten != 1 || c0.MirrorWrites != 0 {
+		t.Fatalf("primary counters = %+v", c0)
+	}
+	if c1.PagesWritten != 1 || c1.MirrorWrites != 1 {
+		t.Fatalf("backup counters = %+v", c1)
+	}
+	// The mirror log is append-only: it must not disturb the backup's own
+	// arm position (FileSwitches would become schedule-dependent).
+	if c1.FileSwitches != 0 {
+		t.Fatalf("mirror write moved the backup arm: %+v", c1)
+	}
+}
+
+func TestDownDiskFailsOverReads(t *testing.T) {
+	m := cost.Default()
+	d0, d1 := New(0, m), New(1, m)
+	d0.SetBackup(d1)
+	d0.SetDown(true)
+	if !d0.Down() {
+		t.Fatal("SetDown(true) not visible")
+	}
+	var a cost.Acct
+	d0.ReadSeq(&a, 7)
+	d0.ReadRand(&a, 7)
+	// Failover reads lose the streaming arm position: every page is a
+	// random access on the backup, even "sequential" ones.
+	if want := 2 * m.RandPage; a.Disk != want {
+		t.Fatalf("Disk time = %d, want %d", a.Disk, want)
+	}
+	c0, c1 := d0.Counters(), d1.Counters()
+	if c0.PagesRead != 0 {
+		t.Fatalf("down primary served reads: %+v", c0)
+	}
+	if c1.PagesRead != 2 || c1.MirrorReads != 2 {
+		t.Fatalf("backup counters = %+v", c1)
+	}
+	if c1.FileSwitches != 0 {
+		t.Fatalf("failover read moved the backup arm: %+v", c1)
+	}
+}
+
+func TestDownDiskRoutesWritesToBackup(t *testing.T) {
+	m := cost.Default()
+	d0, d1 := New(0, m), New(1, m)
+	d0.SetBackup(d1)
+	d0.SetDown(true)
+	var a cost.Acct
+	d0.WritePage(&a, 3)
+	if a.Disk != m.SeqPage {
+		t.Fatalf("Disk time = %d, want %d", a.Disk, m.SeqPage)
+	}
+	c0, c1 := d0.Counters(), d1.Counters()
+	if c0.PagesWritten != 0 {
+		t.Fatalf("down primary wrote: %+v", c0)
+	}
+	if c1.PagesWritten != 1 || c1.MirrorWrites != 1 {
+		t.Fatalf("backup counters = %+v", c1)
+	}
+}
+
+func TestDownWithoutBackupStillServes(t *testing.T) {
+	// Down with no mirror chained is a configuration the cluster never
+	// produces (MarkDead only fires after the mirror check), but the disk
+	// itself degrades to serving normally rather than losing operations.
+	m := cost.Default()
+	d := New(0, m)
+	d.SetDown(true)
+	var a cost.Acct
+	d.ReadSeq(&a, 1)
+	if c := d.Counters(); c.PagesRead != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestReviveRestoresPrimaryService(t *testing.T) {
+	m := cost.Default()
+	d0, d1 := New(0, m), New(1, m)
+	d0.SetBackup(d1)
+	d0.SetDown(true)
+	var a cost.Acct
+	d0.ReadSeq(&a, 1)
+	d0.SetDown(false)
+	d0.ReadSeq(&a, 1)
+	c0, c1 := d0.Counters(), d1.Counters()
+	if c0.PagesRead != 1 || c1.MirrorReads != 1 {
+		t.Fatalf("counters after revive: primary %+v backup %+v", c0, c1)
+	}
+}

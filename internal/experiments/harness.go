@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"gammajoin/internal/core"
 	"gammajoin/internal/cost"
@@ -37,6 +38,12 @@ type Config struct {
 	// of the configuration: two harnesses with equal Config produce
 	// bit-identical reports, faults and all.
 	Faults *fault.Spec
+
+	// Mirror enables chained-declustered backup fragments on every cluster
+	// the harness builds: each disk site's fragments are mirrored on its
+	// ring neighbor, so a single crashed site fails over instead of
+	// restarting the query (see docs/FAULTS.md, "The recovery ladder").
+	Mirror bool
 
 	// TraceDir, when non-empty, makes the harness export every uncached
 	// run's timeline into this directory: <RunKey slug>.trace.json (Chrome
@@ -92,6 +99,19 @@ type relPair struct {
 	rAttr, sAttr int
 }
 
+// RecoveryStats aggregates the recovery ladder's work over every uncached
+// run a harness executed: how often each rung fired and what it cost. Zero
+// everywhere on a fault-free harness.
+type RecoveryStats struct {
+	Runs           int           // uncached joins executed
+	Restarts       int           // full query restarts (last rung)
+	FailedOver     int           // crashes absorbed by mirrored-fragment failover
+	PhasesRedone   int           // phases re-executed after a failover
+	WastedWork     time.Duration // simulated time discarded by restarts and redo
+	DetectionDelay time.Duration // heartbeat time spent declaring sites dead
+	MirrorReads    int64         // pages read from backup fragments
+}
+
 // Harness caches workloads and run reports for the experiment suite.
 type Harness struct {
 	cfg Config
@@ -99,6 +119,7 @@ type Harness struct {
 	clusters map[bool]*gamma.Cluster
 	rels     map[relKey]relPair
 	cache    map[RunKey]*core.Report
+	recovery RecoveryStats
 
 	// Raw generated tuples, shared by all loads.
 	uniformOuter []tuple.Tuple
@@ -123,6 +144,9 @@ func NewHarness(cfg Config) *Harness {
 // Config returns the harness configuration.
 func (h *Harness) Config() Config { return h.cfg }
 
+// Recovery returns the recovery work accumulated over every uncached run.
+func (h *Harness) Recovery() RecoveryStats { return h.recovery }
+
 func (h *Harness) cluster(remote bool) *gamma.Cluster {
 	if c, ok := h.clusters[remote]; ok {
 		return c
@@ -135,6 +159,13 @@ func (h *Harness) cluster(remote bool) *gamma.Cluster {
 	}
 	if h.cfg.Faults != nil {
 		c.EnableFaults(*h.cfg.Faults)
+	}
+	if h.cfg.Mirror {
+		if err := c.EnableMirrors(); err != nil {
+			// A one-disk cluster cannot mirror; surface the misconfiguration
+			// loudly rather than silently running unprotected.
+			panic(fmt.Sprintf("experiments: Config.Mirror: %v", err))
+		}
 	}
 	h.clusters[remote] = c
 	return c
@@ -310,6 +341,13 @@ func (h *Harness) Run(k RunKey) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.recovery.Runs++
+	h.recovery.Restarts += rep.Restarts
+	h.recovery.FailedOver += rep.FailedOver
+	h.recovery.PhasesRedone += rep.PhasesRedone
+	h.recovery.WastedWork += rep.WastedWork
+	h.recovery.DetectionDelay += rep.DetectionDelay
+	h.recovery.MirrorReads += rep.MirrorReads
 	if h.cfg.TraceDir != "" {
 		if err := writeTraceFiles(h.cfg.TraceDir, k.Slug(), rep); err != nil {
 			return nil, err

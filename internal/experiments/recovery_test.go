@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/fault"
+)
+
+// TestMirroredHarnessFailsOverWithoutRestart runs a small availability
+// sweep through the harness twice — mirrors on and off, same crash-heavy
+// fault schedule — and checks the recovery ladder from the outside: the
+// mirrored sweep absorbs every crash by failover, the unmirrored one pays
+// restarts, and both report identical result counts.
+func TestMirroredHarnessFailsOverWithoutRestart(t *testing.T) {
+	sweep := func(mirror bool) (*Harness, []*core.Report) {
+		cfg := testConfig()
+		cfg.Faults = &fault.Spec{Seed: 7, CrashRate: 0.05}
+		cfg.Mirror = mirror
+		h := NewHarness(cfg)
+		var reps []*core.Report
+		for _, alg := range []core.Algorithm{core.SortMerge, core.Simple, core.Grace, core.Hybrid} {
+			rep, err := h.Run(RunKey{Alg: alg, HPJA: true, Ratio: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, rep)
+		}
+		return h, reps
+	}
+	hm, mirrored := sweep(true)
+	hp, plain := sweep(false)
+
+	rm, rp := hm.Recovery(), hp.Recovery()
+	if rm.Runs != 4 || rp.Runs != 4 {
+		t.Fatalf("runs = %d/%d, want 4/4", rm.Runs, rp.Runs)
+	}
+	// Same seed, same phase ordinals: the crash schedule is identical, only
+	// the ladder rung that absorbs it differs.
+	if rp.Restarts == 0 {
+		t.Fatal("crash rate 0.05 fired no crash — the sweep tests nothing")
+	}
+	if rm.Restarts != 0 {
+		t.Errorf("mirrored sweep restarted %d times, want 0", rm.Restarts)
+	}
+	if rm.FailedOver != rp.Restarts {
+		t.Errorf("mirrored failovers = %d, unmirrored restarts = %d; same schedule should shift rungs only",
+			rm.FailedOver, rp.Restarts)
+	}
+	if rm.MirrorReads == 0 {
+		t.Error("mirrored failover sweep read no mirror pages")
+	}
+	if rm.DetectionDelay <= 0 || rp.DetectionDelay <= 0 {
+		t.Errorf("detection delay missing: mirrored %v, plain %v", rm.DetectionDelay, rp.DetectionDelay)
+	}
+	for i := range mirrored {
+		if mirrored[i].ResultCount != plain[i].ResultCount {
+			t.Errorf("alg %v: mirrored count %d != unmirrored %d",
+				mirrored[i].Alg, mirrored[i].ResultCount, plain[i].ResultCount)
+		}
+	}
+}
+
+// TestHarnessRecoveryZeroWhenFaultFree: the accumulator must stay zero
+// (apart from the run count) on a clean harness.
+func TestHarnessRecoveryZeroWhenFaultFree(t *testing.T) {
+	h := NewHarness(testConfig())
+	if _, err := h.Run(RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	r := h.Recovery()
+	if r.Runs != 1 || r.Restarts != 0 || r.FailedOver != 0 || r.PhasesRedone != 0 ||
+		r.WastedWork != 0 || r.DetectionDelay != 0 || r.MirrorReads != 0 {
+		t.Fatalf("fault-free recovery stats = %+v", r)
+	}
+}

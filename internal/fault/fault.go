@@ -34,6 +34,7 @@ const (
 	kindMem      = 0x4D45_0000_0000_0004
 	kindMemDir   = 0x4D45_0000_0000_0005
 	kindCrash    = 0xC4A5_0000_0000_0006
+	kindDetect   = 0xDE7E_0000_0000_0007
 )
 
 // CrashPoint pins a single injected site crash to an exact phase ordinal
@@ -81,6 +82,12 @@ type Spec struct {
 	CrashRate  float64
 	MaxCrashes int
 	Crash      *CrashPoint
+
+	// DetectJitterRate is the per-crash probability that the scheduler's
+	// failure detector needs one extra heartbeat period to declare the dead
+	// site down (a heartbeat raced the crash and was counted). It perturbs
+	// only DetectionDelay, never the join result.
+	DetectJitterRate float64
 }
 
 // Registry hands out fault decisions for one Spec. A nil *Registry is
@@ -236,4 +243,18 @@ func (r *Registry) CrashSiteAt(phase int, sites []int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// DetectExtraBeats reports how many extra heartbeat periods the failure
+// detector spends confirming that site is dead, beyond the configured
+// HeartbeatMisses tolerance. Pure function of the site id, consumed by the
+// detection logic in internal/netsim.
+func (r *Registry) DetectExtraBeats(site int) int {
+	if r == nil || r.spec.DetectJitterRate <= 0 {
+		return 0
+	}
+	if r.roll(kindDetect, uint64(site), 0, 0, 0) < r.spec.DetectJitterRate {
+		return 1
+	}
+	return 0
 }

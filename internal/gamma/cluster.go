@@ -39,6 +39,19 @@ type Cluster struct {
 
 	diskSites     []int
 	disklessSites []int
+
+	// mirrored records that EnableMirrors chained every disk to its ring
+	// neighbor; until then the failover rung of the recovery ladder is
+	// unavailable and crashes escalate straight to a query restart.
+	mirrored bool
+
+	// hosts maps each logical site to the site currently executing its
+	// roles: the identity map while every site is alive, redirected to the
+	// ring successor for sites marked dead. It is mutated only between
+	// phases (MarkDead/ReviveAll at barriers), so lock-free reads from
+	// worker goroutines are ordered by the goroutine launch/join edges.
+	hosts []int
+	dead  []bool
 }
 
 // EnableFaults builds a registry for spec and attaches it to the network
@@ -83,7 +96,134 @@ func newCluster(numDisks, numDiskless int, m *cost.Model) *Cluster {
 		c.Sites = append(c.Sites, &Site{ID: id})
 		c.disklessSites = append(c.disklessSites, id)
 	}
+	c.hosts = make([]int, len(c.Sites))
+	c.dead = make([]bool, len(c.Sites))
+	for i := range c.hosts {
+		c.hosts[i] = i
+	}
 	return c
+}
+
+// EnableMirrors chains every disk to its ring neighbor (chained
+// declustering: site i's fragments are mirrored on disk site i+1 mod n, the
+// Appendix-A mod-indexing applied to backups). With mirrors on, a single
+// disk-site crash fails over instead of restarting the query. Call once at
+// setup; it is an error to mirror a cluster with fewer than two disks.
+func (c *Cluster) EnableMirrors() error {
+	n := len(c.diskSites)
+	if n < 2 {
+		return fmt.Errorf("gamma: chained declustering needs >= 2 disk sites, have %d", n)
+	}
+	for i, s := range c.diskSites {
+		next := c.diskSites[(i+1)%n]
+		c.Sites[s].Disk.SetBackup(c.Sites[next].Disk)
+	}
+	c.mirrored = true
+	return nil
+}
+
+// Mirrored reports whether EnableMirrors has chained backup disks.
+func (c *Cluster) Mirrored() bool { return c.mirrored }
+
+// MarkDead marks a site failed and recomputes the host map: the dead site's
+// roles move to its ring successor (the disk ring for disk sites, so the
+// adopter is exactly the mirror holding the dead fragments; the full site
+// ring for diskless sites), skipping sites that are themselves dead. Only
+// call at a phase barrier.
+func (c *Cluster) MarkDead(site int) {
+	c.dead[site] = true
+	if d := c.Sites[site].Disk; d != nil {
+		d.SetDown(true)
+	}
+	for s := range c.hosts {
+		if !c.dead[s] {
+			c.hosts[s] = s
+			continue
+		}
+		c.hosts[s] = c.successor(s)
+	}
+}
+
+// successor finds the first alive site after s on its ring.
+func (c *Cluster) successor(s int) int {
+	ring := c.diskSites
+	if !c.Sites[s].HasDisk() {
+		ring = nil
+		for i := range c.Sites {
+			ring = append(ring, i)
+		}
+	}
+	pos := 0
+	for i, id := range ring {
+		if id == s {
+			pos = i
+			break
+		}
+	}
+	for i := 1; i < len(ring); i++ {
+		cand := ring[(pos+i)%len(ring)]
+		if !c.dead[cand] {
+			return cand
+		}
+	}
+	return s // no survivor: caller escalates before using the host map
+}
+
+// AliveHost returns the site executing the given logical site's roles.
+func (c *Cluster) AliveHost(site int) int { return c.hosts[site] }
+
+// DeadCount reports how many sites are currently marked dead.
+func (c *Cluster) DeadCount() int {
+	n := 0
+	for _, d := range c.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// MirrorLost reports whether marking site dead would lose data: for a disk
+// site, its mirror chain is broken when the ring successor (which holds this
+// site's backup fragments) or the ring predecessor (whose backup fragments
+// this site holds) is already dead. Diskless sites hold no fragments, so
+// their loss never breaks a mirror.
+func (c *Cluster) MirrorLost(site int) bool {
+	if !c.Sites[site].HasDisk() {
+		return false
+	}
+	n := len(c.diskSites)
+	pos := 0
+	for i, id := range c.diskSites {
+		if id == site {
+			pos = i
+			break
+		}
+	}
+	next := c.diskSites[(pos+1)%n]
+	prev := c.diskSites[(pos+n-1)%n]
+	return c.dead[next] || c.dead[prev]
+}
+
+// ReviveAll clears all dead marks and down flags, restoring the identity
+// host map. Backup chains stay wired. Run calls this when a query finishes
+// or escalates to a restart, scoping each failure to one query.
+func (c *Cluster) ReviveAll() {
+	for s := range c.dead {
+		c.dead[s] = false
+		c.hosts[s] = s
+		if d := c.Sites[s].Disk; d != nil {
+			d.SetDown(false)
+		}
+	}
+}
+
+// Colocated returns a predicate reporting whether dst's roles execute on
+// the same physical site as src's — the short-circuit test senders use in
+// place of plain src == dst once failover has moved roles around.
+func (c *Cluster) Colocated(src int) func(dst int) bool {
+	host := c.hosts[src]
+	return func(dst int) bool { return c.hosts[dst] == host }
 }
 
 // NewTraceRecorder creates a trace recorder whose tracks mirror the

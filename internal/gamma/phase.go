@@ -56,6 +56,19 @@ func (q *Query) Response() time.Duration {
 	return total
 }
 
+// AddDetection charges the failure detector's declaration latency as a
+// scheduler-only pseudo-phase: no site does work, but the query clock (and
+// the trace timeline) advances by the heartbeat-grid delay between the
+// crash and the scheduler declaring the site dead. Both recovery rungs —
+// failover and full restart — pay this before reacting.
+func (q *Query) AddDetection(name string, delay time.Duration) {
+	q.Phases = append(q.Phases, PhaseStat{Name: name, Sched: delay})
+	if tr := q.Trace; tr.Enabled() {
+		tr.BeginPhase(name)
+		tr.EndPhase(0, delay.Nanoseconds())
+	}
+}
+
 // Phase is one barrier-synchronized operator phase. Worker goroutines
 // register per-goroutine accounts against their site; End merges them,
 // takes the slowest site, adds scheduling overhead, and appends a PhaseStat
@@ -179,6 +192,8 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 		mm.Gauge("disk.pages.written").Set(dd.PagesWritten)
 		mm.Gauge("disk.read.retries").Set(dd.ReadRetries)
 		mm.Gauge("disk.file.switches").Set(dd.FileSwitches)
+		mm.Gauge("disk.mirror.reads").Set(dd.MirrorReads)
+		mm.Gauge("disk.mirror.writes").Set(dd.MirrorWrites)
 		tr.EndPhase(work, sched)
 	}
 	return stat.Elapsed()

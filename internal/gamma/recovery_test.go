@@ -1,0 +1,120 @@
+package gamma
+
+import (
+	"testing"
+)
+
+func TestEnableMirrorsWiresRing(t *testing.T) {
+	c := NewLocal(4, nil)
+	if c.Mirrored() {
+		t.Fatal("cluster mirrored before EnableMirrors")
+	}
+	if err := c.EnableMirrors(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mirrored() {
+		t.Fatal("Mirrored() false after EnableMirrors")
+	}
+	for i := 0; i < 4; i++ {
+		b := c.Sites[i].Disk.Backup()
+		if b == nil || b.ID() != (i+1)%4 {
+			t.Errorf("site %d backup = %v, want disk %d", i, b, (i+1)%4)
+		}
+	}
+}
+
+func TestEnableMirrorsNeedsTwoDisks(t *testing.T) {
+	if err := NewLocal(1, nil).EnableMirrors(); err == nil {
+		t.Fatal("one-disk cluster accepted mirrors")
+	}
+}
+
+func TestMarkDeadAdoptsRoles(t *testing.T) {
+	c := NewLocal(4, nil)
+	if err := c.EnableMirrors(); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDead(1)
+	if c.DeadCount() != 1 {
+		t.Fatalf("DeadCount = %d, want 1", c.DeadCount())
+	}
+	// The dead disk site's roles move to its ring successor — exactly the
+	// site holding its mirrored fragments.
+	if got := c.AliveHost(1); got != 2 {
+		t.Errorf("AliveHost(1) = %d, want 2", got)
+	}
+	for _, s := range []int{0, 2, 3} {
+		if got := c.AliveHost(s); got != s {
+			t.Errorf("AliveHost(%d) = %d, want identity", s, got)
+		}
+	}
+	if d, _ := c.Disk(1); !d.Down() {
+		t.Error("dead site's disk not marked down")
+	}
+	// Colocation follows the host map: logical site 1 now shares a
+	// physical site with 2, and with nobody else.
+	pred := c.Colocated(1)
+	if !pred(2) || pred(0) || pred(3) {
+		t.Error("Colocated(1) does not match the host map")
+	}
+}
+
+func TestMarkDeadDisklessUsesFullRing(t *testing.T) {
+	c := NewRemote(2, 2, nil)
+	c.MarkDead(2) // diskless site: successor on the full site ring
+	if got := c.AliveHost(2); got != 3 {
+		t.Errorf("AliveHost(2) = %d, want 3", got)
+	}
+	if c.MirrorLost(2) {
+		t.Error("diskless site loss reported as mirror loss")
+	}
+}
+
+func TestMirrorLostAdjacency(t *testing.T) {
+	c := NewLocal(4, nil)
+	if err := c.EnableMirrors(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if c.MirrorLost(i) {
+			t.Errorf("MirrorLost(%d) with everyone alive", i)
+		}
+	}
+	c.MarkDead(1)
+	// Site 0's backup lives on 1 (gone); site 2 holds 1's backup (its
+	// predecessor is gone). Site 3 is two hops away: its chain is intact.
+	if !c.MirrorLost(0) {
+		t.Error("MirrorLost(0): successor dead, want true")
+	}
+	if !c.MirrorLost(2) {
+		t.Error("MirrorLost(2): predecessor dead, want true")
+	}
+	if c.MirrorLost(3) {
+		t.Error("MirrorLost(3): chain intact, want false")
+	}
+}
+
+func TestReviveAllRestoresCluster(t *testing.T) {
+	c := NewLocal(3, nil)
+	if err := c.EnableMirrors(); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDead(0)
+	c.MarkDead(2)
+	c.ReviveAll()
+	if c.DeadCount() != 0 {
+		t.Fatalf("DeadCount = %d after ReviveAll", c.DeadCount())
+	}
+	for i := 0; i < 3; i++ {
+		if c.AliveHost(i) != i {
+			t.Errorf("AliveHost(%d) = %d after ReviveAll", i, c.AliveHost(i))
+		}
+		if d, _ := c.Disk(i); d.Down() {
+			t.Errorf("disk %d still down after ReviveAll", i)
+		}
+		// Backups stay wired: the next query can fail over again.
+		if d, _ := c.Disk(i); d.Backup() == nil {
+			t.Errorf("disk %d lost its backup chain", i)
+		}
+	}
+}

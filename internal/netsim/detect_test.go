@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
+)
+
+// detectModel builds a model with a heartbeat of hbMs ms and the given miss
+// tolerance.
+func detectModel(hbMs float64, misses int) *cost.Model {
+	p := cost.DefaultParams()
+	p.HeartbeatMs = hbMs
+	p.HeartbeatMisses = misses
+	return cost.NewModel(p)
+}
+
+func TestDetectionDelayLandsOnHeartbeatGrid(t *testing.T) {
+	m := detectModel(250, 2)
+	n := New(m)
+	hb := m.Heartbeat
+	cases := []struct {
+		at   int64
+		want int64
+	}{
+		// Crash exactly on a beat: the next 2 beats are missed, declared at
+		// the second boundary after the crash.
+		{0, 2 * hb},
+		{hb, 2 * hb},
+		// Mid-beat crashes round down to the preceding boundary, so the
+		// declaration is strictly less than misses+1 beats away.
+		{hb / 2, 2*hb - hb/2},
+		{3*hb - 1, 2*hb - (hb - 1)},
+	}
+	for _, c := range cases {
+		got := n.DetectionDelay(3, c.at)
+		if got != c.want {
+			t.Errorf("DetectionDelay(at=%d) = %d, want %d", c.at, got, c.want)
+		}
+		if got <= 0 {
+			t.Errorf("DetectionDelay(at=%d) not strictly positive", c.at)
+		}
+		// The declaration instant must land on the heartbeat grid.
+		if (c.at+got)%hb != 0 {
+			t.Errorf("declaration at %d is off the heartbeat grid", c.at+got)
+		}
+	}
+}
+
+func TestDetectionDelayZeroWithoutHeartbeat(t *testing.T) {
+	if got := New(detectModel(0, 2)).DetectionDelay(0, 12345); got != 0 {
+		t.Fatalf("DetectionDelay with heartbeats disabled = %d, want 0", got)
+	}
+}
+
+func TestDetectionDelayJitterAddsOneBeat(t *testing.T) {
+	m := detectModel(250, 1)
+	base := New(m)
+	jit := New(m)
+	jit.SetFaults(fault.NewRegistry(fault.Spec{Seed: 1, DetectJitterRate: 1}))
+	at := int64(m.Heartbeat / 3)
+	d0, d1 := base.DetectionDelay(5, at), jit.DetectionDelay(5, at)
+	if d1 != d0+m.Heartbeat {
+		t.Fatalf("certain jitter added %d ns, want one full beat (%d)", d1-d0, m.Heartbeat)
+	}
+	// The jitter roll is pure in (seed, site): the same site asks twice and
+	// gets the same answer, so re-running a query replays the schedule.
+	if again := jit.DetectionDelay(5, at); again != d1 {
+		t.Fatalf("jittered delay not stable: %d then %d", d1, again)
+	}
+}

@@ -76,6 +76,26 @@ func (n *Network) SetFaults(r *fault.Registry) { n.faults = r }
 // New returns a network using cost model m.
 func New(m *cost.Model) *Network { return &Network{model: m} }
 
+// DetectionDelay is the failure detector: given the simulated instant `at`
+// when a site went silent, it returns how long the scheduler waits before
+// declaring the site dead. Heartbeats tick on a fixed grid (every
+// Model.Heartbeat ns since time zero), the detector tolerates
+// Model.HeartbeatMisses missed beats, and the fault registry may charge
+// extra confirmation beats (DetectJitterRate) — so the declaration lands on
+// a deterministic grid instant strictly after the crash.
+func (n *Network) DetectionDelay(site int, at int64) int64 {
+	hb := n.model.Heartbeat
+	if hb <= 0 {
+		return 0
+	}
+	beats := int64(n.model.HeartbeatMisses + n.faults.DetectExtraBeats(site))
+	declaredAt := (at/hb + beats) * hb
+	if declaredAt <= at {
+		declaredAt += hb
+	}
+	return declaredAt - at
+}
+
 // Counters returns a snapshot of the network counters.
 func (n *Network) Counters() Counters {
 	return Counters{
@@ -150,6 +170,26 @@ type Sender struct {
 
 	bufs  map[streamKey]*Batch
 	order []streamKey // insertion order, for deterministic FlushAll
+
+	// colocated, when non-nil, overrides the short-circuit test: after a
+	// failover moves a dead site's roles to its ring neighbor, streams
+	// between logical sites hosted on the same physical site short-circuit
+	// even though their logical ids differ. Batch.Src/Dst stay logical —
+	// the consumer-side (Src, Seq) replay order and the fault schedule's
+	// packet coordinates must not depend on where roles physically run.
+	colocated func(dst int) bool
+}
+
+// SetColocated installs the physical-colocation predicate. Call before the
+// first Send; the runner does this at phase launch once any site is dead.
+func (s *Sender) SetColocated(p func(dst int) bool) { s.colocated = p }
+
+// local reports whether a packet to dst short-circuits the wire.
+func (s *Sender) local(dst int) bool {
+	if s.colocated != nil {
+		return s.colocated(dst)
+	}
+	return dst == s.src
 }
 
 // NewSender creates a sender for producing site src. Every full packet is
@@ -174,7 +214,7 @@ func (s *Sender) Send(dst, tag int, t tuple.Tuple, h uint64) {
 	k := streamKey{dst, tag}
 	b := s.bufs[k]
 	if b == nil {
-		b = &Batch{Src: s.src, Dst: dst, Local: dst == s.src, Tag: tag}
+		b = &Batch{Src: s.src, Dst: dst, Local: s.local(dst), Tag: tag}
 		s.bufs[k] = b
 		s.order = append(s.order, k)
 	}
@@ -191,7 +231,7 @@ func (s *Sender) SendJoined(dst, tag int, j tuple.Joined) {
 	k := streamKey{dst, tag}
 	b := s.bufs[k]
 	if b == nil {
-		b = &Batch{Src: s.src, Dst: dst, Local: dst == s.src, Tag: tag, Joined: []tuple.Joined{}}
+		b = &Batch{Src: s.src, Dst: dst, Local: s.local(dst), Tag: tag, Joined: []tuple.Joined{}}
 		s.bufs[k] = b
 		s.order = append(s.order, k)
 	}

@@ -9,6 +9,7 @@
 package wiss
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sync"
 
@@ -29,6 +30,32 @@ func fileID(name string) int64 {
 	return int64(h.Sum64())
 }
 
+// idOwners guards against two distinct file names hashing to the same id:
+// a silent collision would make the colliding files share a fault schedule
+// and arm-movement identity, corrupting the determinism argument without
+// any visible symptom. Registration is process-global because ids are —
+// repeated runs re-register the same name/id pairs, which is fine.
+var (
+	idOwnersMu sync.Mutex
+	idOwners   = map[int64]string{}
+)
+
+// registerFileID records that name owns id, panicking loudly on a
+// cross-name collision. fnv64a collisions are astronomically unlikely for
+// the simulator's file-name population, so a hit is almost certainly a
+// naming bug (two code paths generating the same "unique" name).
+func registerFileID(id int64, name string) {
+	idOwnersMu.Lock()
+	defer idOwnersMu.Unlock()
+	if owner, ok := idOwners[id]; ok && owner != name {
+		panic(fmt.Sprintf(
+			"wiss: file id collision: %q and %q both hash to %#x; "+
+				"file names must be unique so fault schedules and disk "+
+				"accounting stay per-file", owner, name, uint64(id)))
+	}
+	idOwners[id] = name
+}
+
 // File is a page-structured sequential file of fixed-size tuples on one
 // simulated disk.
 type File struct {
@@ -43,10 +70,13 @@ type File struct {
 	n     int64
 }
 
-// NewFile creates an empty file on disk d.
+// NewFile creates an empty file on disk d. It fails loudly (panics) if the
+// name's hashed id collides with a different name seen by this process.
 func NewFile(name string, d *disk.Disk, m *cost.Model) *File {
+	id := fileID(name)
+	registerFileID(id, name)
 	return &File{
-		id:      fileID(name),
+		id:      id,
 		name:    name,
 		dsk:     d,
 		model:   m,

@@ -1,0 +1,39 @@
+package wiss
+
+import (
+	"strings"
+	"testing"
+)
+
+// scrubFileID removes a test-registered id so the process-global owner map
+// stays clean for other tests.
+func scrubFileID(id int64) {
+	idOwnersMu.Lock()
+	delete(idOwners, id)
+	idOwnersMu.Unlock()
+}
+
+func TestRegisterFileIDCollisionPanics(t *testing.T) {
+	const id = int64(0x7e57_0000_c0111de) // synthetic; fnv collisions are impractical to construct
+	defer scrubFileID(id)
+	registerFileID(id, "tmp.r.1")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-name id collision did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "file id collision") ||
+			!strings.Contains(msg, "tmp.r.1") || !strings.Contains(msg, "tmp.s.9") {
+			t.Fatalf("panic message %v does not name the colliding files", r)
+		}
+	}()
+	registerFileID(id, "tmp.s.9")
+}
+
+func TestRegisterFileIDSameNameIsIdempotent(t *testing.T) {
+	const id = int64(0x7e57_0000_1de4)
+	defer scrubFileID(id)
+	registerFileID(id, "A.frag0")
+	registerFileID(id, "A.frag0") // repeated runs re-register the same pair
+}

@@ -1,7 +1,7 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build lint test race bench determinism chaos trace avail clean
+.PHONY: all build lint test race bench bench-baseline deflake mpl determinism chaos trace avail clean
 
 all: build lint test
 
@@ -20,9 +20,44 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the scaled-down joinABprime experiments (Tables 1 and 2).
+# bench runs the full benchmark suite (every figure/table/ablation plus the
+# workload engine's mpl sweep, each 3x keeping the fastest), emits the run as
+# JSON, and gates it against the committed baseline: wall-clock may not
+# regress >20% after median machine-speed normalization, and simulated
+# metrics (sim-sec, qps, ...) must match the baseline exactly.
+BENCH_SEED ?= 1989
+BENCH_FLAGS = -run '^$$' -bench . -benchtime 2x -count 3 .
 bench:
-	$(GO) run ./cmd/gammabench -exp table1,table2 -outer 20000 -inner 2000
+	$(GO) test $(BENCH_FLAGS) > /tmp/gammajoin-bench.txt || { cat /tmp/gammajoin-bench.txt; exit 1; }
+	$(GO) run ./cmd/benchcheck -emit /tmp/gammajoin-bench-current.json \
+		-against BENCH_$(BENCH_SEED).json < /tmp/gammajoin-bench.txt
+	@echo "bench gate: OK"
+
+# bench-baseline regenerates the committed baseline on the current machine.
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) > /tmp/gammajoin-bench.txt || { cat /tmp/gammajoin-bench.txt; exit 1; }
+	$(GO) run ./cmd/benchcheck -emit BENCH_$(BENCH_SEED).json < /tmp/gammajoin-bench.txt
+
+# deflake is the flakiness audit: the whole test suite 5x under the race
+# detector; any run-to-run variance fails it.
+deflake:
+	$(GO) test -count=5 -race ./...
+
+# mpl is the workload-engine determinism gate: the same multi-query workload
+# (8 concurrent joins, fair policy) twice, byte-identical stdout and
+# per-query trace trees required; then the mpl-sweep experiment twice.
+mpl:
+	rm -rf /tmp/gammajoin-mpl-1 /tmp/gammajoin-mpl-2
+	$(GO) run ./cmd/gammabench -outer 8000 -inner 800 -mpl 8 -policy fair \
+		-trace-dir /tmp/gammajoin-mpl-1 > /tmp/gammajoin-mpl-1.txt
+	$(GO) run ./cmd/gammabench -outer 8000 -inner 800 -mpl 8 -policy fair \
+		-trace-dir /tmp/gammajoin-mpl-2 > /tmp/gammajoin-mpl-2.txt
+	cmp /tmp/gammajoin-mpl-1.txt /tmp/gammajoin-mpl-2.txt
+	diff -r /tmp/gammajoin-mpl-1 /tmp/gammajoin-mpl-2
+	$(GO) run ./cmd/gammabench -exp mpl-sweep -outer 8000 -inner 800 > /tmp/gammajoin-mplsweep-1.txt
+	$(GO) run ./cmd/gammabench -exp mpl-sweep -outer 8000 -inner 800 > /tmp/gammajoin-mplsweep-2.txt
+	cmp /tmp/gammajoin-mplsweep-1.txt /tmp/gammajoin-mplsweep-2.txt
+	@echo "mpl gate: OK"
 
 # determinism runs the joinABprime benchmark twice and requires byte-identical
 # cost reports — the live counterpart of the gammavet determinism analyzer.
@@ -89,3 +124,7 @@ clean:
 	rm -f /tmp/gammajoin-chaos-1.txt /tmp/gammajoin-chaos-2.txt
 	rm -rf /tmp/gammajoin-trace-1 /tmp/gammajoin-trace-2
 	rm -f /tmp/gammajoin-avail-1.txt /tmp/gammajoin-avail-2.txt
+	rm -f /tmp/gammajoin-bench.txt /tmp/gammajoin-bench-current.json
+	rm -rf /tmp/gammajoin-mpl-1 /tmp/gammajoin-mpl-2
+	rm -f /tmp/gammajoin-mpl-1.txt /tmp/gammajoin-mpl-2.txt
+	rm -f /tmp/gammajoin-mplsweep-1.txt /tmp/gammajoin-mplsweep-2.txt

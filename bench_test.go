@@ -11,6 +11,7 @@ package gammajoin
 // `go test -bench .` doubles as a compact reproduction table.
 
 import (
+	"strconv"
 	"testing"
 
 	"gammajoin/internal/core"
@@ -261,3 +262,24 @@ func BenchmarkExtSpeedup(b *testing.B) { benchExperiment(b, "ext-speedup") }
 func BenchmarkExtGrowingRelations(b *testing.B) { benchExperiment(b, "ext-growing") }
 
 func BenchmarkExtMultiuser(b *testing.B) { benchExperiment(b, "ext-multiuser") }
+
+// BenchmarkMPLSweep runs the multi-query workload engine's multiprogramming
+// sweep (12 mixed queries under each admission policy at MPL 1..8) and
+// reports the final row's (shrink at MPL 8) throughput as the qps metric.
+func BenchmarkMPLSweep(b *testing.B) {
+	var qps float64
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(benchConfig())
+		res, err := h.MPLSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		q, err := strconv.ParseFloat(last[2], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qps = q
+	}
+	b.ReportMetric(qps, "qps")
+}

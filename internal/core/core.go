@@ -131,6 +131,12 @@ type Spec struct {
 	// function used when relations were loaded, so joins on a
 	// hash-partitioning attribute short-circuit the network.
 	HashSeed uint64
+
+	// QueryID tags this execution with a workload query id (internal/sched).
+	// It flows into the trace (one process track per query) and prefixes
+	// temp-file names so concurrent queries of the same shape never collide
+	// in the simulated file system. 0 means a standalone query.
+	QueryID int
 }
 
 // Report describes one executed join.
@@ -141,6 +147,13 @@ type Report struct {
 
 	ResultCount int64
 	Results     []tuple.Joined // only when Spec.CollectResults
+
+	// ResultSum is the order-independent checksum of the result set: the
+	// wrapping uint64 sum of tuple.Joined.Checksum over every emitted
+	// result. Two executions of the same join — serial or interleaved,
+	// different algorithms, different memory grants — must agree on it,
+	// which is what the workload engine's equivalence tests assert.
+	ResultSum uint64
 
 	Buckets        int   // Grace/Hybrid bucket count actually used
 	OverflowLevels int   // recursion depth of the overflow resolution
@@ -253,10 +266,17 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 		phasesRedone int
 		detection    time.Duration
 	)
+	// Queries never overlap on one cluster: the shared counters, fault
+	// coordinates, and host map are scoped per query by snapshot-diffing
+	// and ReviveAll. The lock makes Run safe to call from the workload
+	// engine's admission goroutines.
+	c.AcquireRun()
+	defer c.ReleaseRun()
 	// One recorder spans every attempt: its virtual clock keeps running
 	// through restarts, so abandoned attempts stay visible on the timeline
 	// as the wasted work they were.
 	rec := c.NewTraceRecorder()
+	rec.SetQuery(spec.QueryID)
 	diskStart := c.DiskCounters()
 	for {
 		rec.NewAttempt()

@@ -60,6 +60,7 @@ type runCtx struct {
 
 	// stats, updated from worker goroutines
 	resultCount    atomic.Int64
+	resultSum      atomic.Uint64 // wrapping sum of result checksums
 	filterDropped  atomic.Int64
 	overflowClears atomic.Int64
 
@@ -199,6 +200,7 @@ func (rc *runCtx) report() *Report {
 		Response:          rc.q.Response(),
 		Phases:            rc.q.Phases,
 		ResultCount:       rc.resultCount.Load(),
+		ResultSum:         rc.resultSum.Load(),
 		Results:           rc.results,
 		Buckets:           rc.buckets,
 		OverflowLevels:    rc.overflowLevels,
@@ -351,13 +353,18 @@ type fileAt struct {
 	f    *wiss.File
 }
 
-// newTempFile creates a temporary file on a disk site's disk.
+// newTempFile creates a temporary file on a disk site's disk. Workload
+// queries (QueryID != 0) prefix the name so two concurrent queries of the
+// same shape get distinct file-id hashes.
 func (rc *runCtx) newTempFile(name string, site int) (*wiss.File, error) {
 	d, err := rc.c.Disk(site)
 	if err != nil {
 		return nil, fmt.Errorf("core: temp file %q: %w", name, err)
 	}
 	rc.fileSeq++
+	if rc.spec.QueryID != 0 {
+		name = fmt.Sprintf("q%d.%s", rc.spec.QueryID, name)
+	}
 	return wiss.NewFile(fmt.Sprintf("%s#%d", name, rc.fileSeq), d, rc.m), nil
 }
 
@@ -650,15 +657,19 @@ func (e *resultEmitter) emit(a *cost.Acct, inner, outer *tuple.Tuple) {
 	rc := e.rc
 	a.AddCPU(rc.m.Result)
 	rc.resultCount.Add(1)
+	j := tuple.Joined{Inner: *inner, Outer: *outer}
+	// The wrapping-sum checksum is order-independent, so accumulating from
+	// worker goroutines in scheduling order is still deterministic.
+	rc.resultSum.Add(j.Checksum())
 	if rc.spec.CollectResults {
 		rc.resMu.Lock()
-		rc.results = append(rc.results, tuple.Joined{Inner: *inner, Outer: *outer})
+		rc.results = append(rc.results, j)
 		rc.resMu.Unlock()
 	}
 	if rc.spec.StoreResult {
 		e.rr++
 		dst := rc.diskSites[e.rr%len(rc.diskSites)]
-		e.snd.SendJoined(dst, tagStore, tuple.Joined{Inner: *inner, Outer: *outer})
+		e.snd.SendJoined(dst, tagStore, j)
 	}
 }
 

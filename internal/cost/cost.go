@@ -282,6 +282,27 @@ func (m *Model) TuplesPerPage(tupleBytes int) int {
 	return n
 }
 
+// RepartitionPassNs estimates the simulated cost of pushing `bytes` of
+// tuple data through one extra bucket-forming round trip: every tuple is
+// hashed and copied into an output page, the pages are written sequentially,
+// and later read back and re-scanned. The workload engine's shrink-to-fit
+// admission policy (internal/sched) uses this as the paper's
+// partition-overflow price: Hybrid running with k buckets instead of one
+// spills (k-1)/k of both relations through exactly this pass (Section 3.4),
+// so a shrunken memory grant is worth taking only when this cost is below
+// the expected queueing delay for a full grant.
+func (m *Model) RepartitionPassNs(bytes int64, tupleBytes int) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	pageB := int64(m.P.PageBytes)
+	pages := (bytes + pageB - 1) / pageB
+	tuples := bytes / int64(tupleBytes)
+	cpu := tuples * (m.Hash + m.WriteTuple + m.ReadTuple)
+	io := pages * 2 * m.SeqPage // write the pass out, read it back
+	return cpu + io
+}
+
 // SplitTablePackets reports how many network packets are needed to ship a
 // split table with the given number of entries to one operator process.
 func (m *Model) SplitTablePackets(entries int) int {

@@ -45,6 +45,7 @@ var Catalog = []Entry{
 	{"ext-speedup", one((*Harness).ExtSpeedup)},
 	{"ext-growing", one((*Harness).ExtGrowingRelations)},
 	{"ext-multiuser", one((*Harness).ExtMultiuser)},
+	{"mpl-sweep", one((*Harness).MPLSweep)},
 }
 
 // Find returns the catalog entry with the given name.

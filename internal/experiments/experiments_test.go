@@ -361,10 +361,13 @@ func TestAppendixA(t *testing.T) {
 }
 
 func TestCatalogAndFind(t *testing.T) {
-	if len(Catalog) != 23 {
+	if len(Catalog) != 24 {
 		t.Fatalf("catalog has %d entries", len(Catalog))
 	}
 	if _, err := Find("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("mpl-sweep"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Find("nope"); err == nil {

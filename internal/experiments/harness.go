@@ -92,6 +92,7 @@ type relKey struct {
 	remote   bool
 	partAttr int
 	skew     string
+	small    bool // half-sized workload relations (internal/sched mixes)
 }
 
 type relPair struct {
@@ -121,11 +122,18 @@ type Harness struct {
 	cache    map[RunKey]*core.Report
 	recovery RecoveryStats
 
+	// workCache holds per-shape-and-grant workload reports (see
+	// workloadExec); the mpl-sweep reuses identical executions across
+	// policies and MPLs.
+	workCache map[workKey]*core.Report
+
 	// Raw generated tuples, shared by all loads.
 	uniformOuter []tuple.Tuple
 	uniformInner []tuple.Tuple
 	skewOuter    []tuple.Tuple
 	skewInner    []tuple.Tuple
+	smallOuter   []tuple.Tuple
+	smallInner   []tuple.Tuple
 }
 
 // NewHarness creates a harness for the given configuration.
@@ -134,10 +142,11 @@ func NewHarness(cfg Config) *Harness {
 		cfg.Model = cost.Default()
 	}
 	return &Harness{
-		cfg:      cfg,
-		clusters: make(map[bool]*gamma.Cluster),
-		rels:     make(map[relKey]relPair),
-		cache:    make(map[RunKey]*core.Report),
+		cfg:       cfg,
+		clusters:  make(map[bool]*gamma.Cluster),
+		rels:      make(map[relKey]relPair),
+		cache:     make(map[RunKey]*core.Report),
+		workCache: make(map[workKey]*core.Report),
 	}
 }
 

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gammajoin/internal/core"
+)
+
+// This file is the golden paper-invariant suite: relationships the paper
+// states (or that follow directly from its cost arguments) which must hold
+// at any scale, not just at the published 100k x 10k datapoints. Every
+// assertion here was verified against the scaled-down 8000 x 800 runs the
+// test config uses; where the literal paper phrasing does not survive
+// scaling, the deviation is documented at the assertion.
+
+const invEps = 1e-9
+
+// Hybrid <= Grace <= Simple ordering across the memory-ratio sweep
+// (Figures 5-6). The one documented deviation: at ratio 1.0 Simple and
+// Hybrid run identical single-bucket in-memory joins while Grace still pays
+// its two bucket-forming scans, so at full memory the ordering is
+// Hybrid = Simple < Grace — exactly the crossover visible at the left edge
+// of the paper's Figure 5. At every ratio below 1.0 the full chain holds.
+func TestInvariantHashJoinOrdering(t *testing.T) {
+	h := NewHarness(testConfig())
+	for _, hpja := range []bool{true, false} {
+		for _, ratio := range MemRatios {
+			sec := func(alg core.Algorithm) float64 {
+				s, err := h.Seconds(RunKey{Alg: alg, HPJA: hpja, Ratio: ratio})
+				if err != nil {
+					t.Fatalf("hpja=%v ratio=%v %v: %v", hpja, ratio, alg, err)
+				}
+				return s
+			}
+			hy, gr, si := sec(core.Hybrid), sec(core.Grace), sec(core.Simple)
+			if hy > gr+invEps {
+				t.Errorf("hpja=%v ratio=%.3f: hybrid (%.3f) > grace (%.3f)", hpja, ratio, hy, gr)
+			}
+			if hy > si+invEps {
+				t.Errorf("hpja=%v ratio=%.3f: hybrid (%.3f) > simple (%.3f)", hpja, ratio, hy, si)
+			}
+			if ratio == 1.0 {
+				if hy != si {
+					t.Errorf("hpja=%v: at full memory hybrid (%.3f) and simple (%.3f) must coincide", hpja, hy, si)
+				}
+				if gr <= si {
+					t.Errorf("hpja=%v: at full memory grace (%.3f) must pay bucket forming over simple (%.3f)", hpja, gr, si)
+				}
+			} else if gr > si+invEps {
+				t.Errorf("hpja=%v ratio=%.3f: grace (%.3f) > simple (%.3f)", hpja, ratio, gr, si)
+			}
+		}
+	}
+}
+
+// Bit-vector filters never increase response time (Section 4.2: they filter
+// non-matching tuples before they are shipped or spilled; the filters
+// themselves travel in the existing control messages). Checked across all
+// four algorithms, both partitionings, the ratio extremes, and the skewed
+// Table 3 workloads.
+func TestInvariantFiltersNeverHurt(t *testing.T) {
+	h := NewHarness(testConfig())
+	check := func(desc string, plain, filt RunKey) {
+		p, err := h.Seconds(plain)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		f, err := h.Seconds(filt)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if f > p+invEps {
+			t.Errorf("%s: filtered run (%.3f) slower than unfiltered (%.3f)", desc, f, p)
+		}
+	}
+	for _, alg := range allAlgs {
+		for _, hpja := range []bool{true, false} {
+			for _, ratio := range []float64{1.0, 1.0 / 3, 1.0 / 8} {
+				k := RunKey{Alg: alg, HPJA: hpja, Ratio: ratio}
+				kf := k
+				kf.Filter = true
+				check(k.Slug(), k, kf)
+			}
+		}
+		for _, skew := range skewKinds {
+			for _, ratio := range table3Ratios {
+				check(alg.String()+" skew "+skew,
+					table3Key(alg, skew, ratio, false),
+					table3Key(alg, skew, ratio, true))
+			}
+		}
+	}
+}
+
+// HPJA joins ship no data over the network (Table 2's "redistribution
+// short-circuits to the local site"): every phase that does not store result
+// tuples moves zero remote packets and zero remote tuples. The only remote
+// traffic an HPJA join generates is (a) routing joined result tuples to the
+// site their hash assigns them — bounded by the result cardinality — and
+// (b) Simple's overflow-resolution levels, which deliberately switch to a
+// fresh fully-mixed hash function and thereby stop being HPJA (Section 4.1).
+func TestInvariantHPJAZeroRemoteRedistribution(t *testing.T) {
+	h := NewHarness(testConfig())
+	resultPhase := func(name string) bool {
+		return strings.Contains(name, "probe") ||
+			strings.Contains(name, "join") ||
+			strings.Contains(name, "overflow")
+	}
+	for _, alg := range allAlgs {
+		rep, err := h.Run(RunKey{Alg: alg, HPJA: true, Ratio: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var remoteTuples int64
+		for _, ph := range rep.Phases {
+			if resultPhase(ph.Name) {
+				remoteTuples += ph.Net.TuplesRemote
+				continue
+			}
+			if ph.Net.PacketsRemote != 0 || ph.Net.TuplesRemote != 0 {
+				t.Errorf("%v HPJA phase %q sent %d remote packets / %d remote tuples, want 0",
+					alg, ph.Name, ph.Net.PacketsRemote, ph.Net.TuplesRemote)
+			}
+		}
+		if remoteTuples > rep.ResultCount {
+			t.Errorf("%v HPJA remote tuples (%d) exceed result cardinality (%d): data redistribution leaked off-site",
+				alg, remoteTuples, rep.ResultCount)
+		}
+		// Sanity on the contrast: the non-HPJA run of the same join must pay
+		// real redistribution traffic.
+		repN, err := h.Run(RunKey{Alg: alg, HPJA: false, Ratio: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repN.Net.PacketsRemote <= rep.Net.PacketsRemote {
+			t.Errorf("%v: non-HPJA remote packets (%d) should exceed HPJA's (%d)",
+				alg, repN.Net.PacketsRemote, rep.Net.PacketsRemote)
+		}
+	}
+}
+
+// Under non-uniform join attributes (the sigma=750 normal distribution of
+// Section 4.4) sort-merge overtakes all three hash joins once memory is
+// scarce: its runtime is insensitive to the memory ratio while skew-loaded
+// hash tables degrade, which is the reversal Table 3 reports at 17% memory.
+// Asserted at the sweep's lowest ratio (1/8) for every skewed join type.
+func TestInvariantSortMergeWinsUnderSkew(t *testing.T) {
+	h := NewHarness(testConfig())
+	lowest := MemRatios[len(MemRatios)-1]
+	for _, skew := range []string{"NU", "UN", "NN"} {
+		sm, err := h.Seconds(table3Key(core.SortMerge, skew, lowest, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range hashAlgs {
+			hs, err := h.Seconds(table3Key(alg, skew, lowest, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sm >= hs {
+				t.Errorf("skew %s ratio %.3f: sort-merge (%.3f) should beat %v (%.3f)",
+					skew, lowest, sm, alg, hs)
+			}
+		}
+	}
+	// The reversal is skew-specific: on the uniform UU workload the hash
+	// joins keep their Figure 5 advantage even at the lowest ratio.
+	smUU, err := h.Seconds(table3Key(core.SortMerge, "UU", lowest, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyUU, err := h.Seconds(table3Key(core.Hybrid, "UU", lowest, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyUU >= smUU {
+		t.Errorf("uniform UU at ratio %.3f: hybrid (%.3f) should still beat sort-merge (%.3f)",
+			lowest, hyUU, smUU)
+	}
+}

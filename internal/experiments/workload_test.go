@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"gammajoin/internal/sched"
+)
+
+// The mpl-sweep's headline shape: throughput scales with the
+// multiprogramming level until the join-memory pool saturates, and past
+// saturation the policies split — fifo and shrink hold every admission at
+// ratio 1.0 while fair keeps admitting at degraded ratios.
+func TestMPLSweepThroughputScalesUntilPoolSaturates(t *testing.T) {
+	h := NewHarness(testConfig())
+	res, err := h.MPLSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		tput, ratio, peak float64
+	}
+	rows := make(map[string]map[int]row)
+	for _, r := range res.Rows {
+		mpl, err := strconv.Atoi(r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio, err := strconv.ParseFloat(r[7], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, err := strconv.ParseFloat(trimPct(r[8]), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[r[0]] == nil {
+			rows[r[0]] = make(map[int]row)
+		}
+		rows[r[0]][mpl] = row{tput: tput, ratio: ratio, peak: peak}
+	}
+	for _, pol := range sched.Policies {
+		pr := rows[pol.String()]
+		if len(pr) != 4 {
+			t.Fatalf("policy %s has %d sweep rows, want 4", pol, len(pr))
+		}
+		// Concurrency helps before the pool binds...
+		if pr[2].tput <= pr[1].tput {
+			t.Errorf("policy %s: throughput at mpl 2 (%.3f) should exceed mpl 1 (%.3f)",
+				pol, pr[2].tput, pr[1].tput)
+		}
+		// ...and the pool is genuinely the binding resource at higher MPLs.
+		if pr[8].peak < 100 {
+			t.Errorf("policy %s: pool peak at mpl 8 is %.0f%%, want saturated (100%%)", pol, pr[8].peak)
+		}
+		if pr[1].peak >= 100 {
+			t.Errorf("policy %s: pool peak at mpl 1 is %.0f%%, want unsaturated", pol, pr[1].peak)
+		}
+	}
+	// Past saturation: fifo never degrades a grant; fair does.
+	if r := rows["fifo"][8].ratio; r != 1.0 {
+		t.Errorf("fifo mean ratio at mpl 8 = %.3f, want 1.0 (full grants only)", r)
+	}
+	if r := rows["fair"][8].ratio; r >= rows["fair"][2].ratio {
+		t.Errorf("fair mean ratio should fall as mpl grows: mpl 8 %.3f vs mpl 2 %.3f",
+			rows["fair"][8].ratio, rows["fair"][2].ratio)
+	}
+}
+
+// trimPct strips the trailing %% from the sweep's pool-peak column.
+func trimPct(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == ' ') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// The workload report is byte-deterministic through the full harness stack
+// (relations, cluster, core.Run, engine, text formatting).
+func TestWorkloadReportByteDeterminism(t *testing.T) {
+	render := func() []byte {
+		h := NewHarness(testConfig())
+		res, err := h.Workload(WorkloadConfig{Queries: 6, Policy: sched.Shrink, MPL: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Fatal("two fresh harnesses rendered different workload reports")
+	}
+}

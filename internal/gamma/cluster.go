@@ -8,6 +8,7 @@ package gamma
 
 import (
 	"fmt"
+	"sync"
 
 	"gammajoin/internal/cost"
 	"gammajoin/internal/disk"
@@ -52,7 +53,23 @@ type Cluster struct {
 	// worker goroutines are ordered by the goroutine launch/join edges.
 	hosts []int
 	dead  []bool
+
+	// runMu serializes whole-query executions on this cluster. The shared
+	// physical state — network and disk counters, the fault registry's
+	// phase/packet coordinates, the host map — is scoped per query by
+	// snapshot-diffing and ReviveAll, which is only sound if queries do not
+	// overlap. The workload engine (internal/sched) may run joins from
+	// several goroutines; AcquireRun makes core.Run re-entrant by turning
+	// overlap into a queue instead of a data race.
+	runMu sync.Mutex
 }
+
+// AcquireRun takes the cluster's whole-query execution lock. Callers must
+// pair it with ReleaseRun; core.Run does this automatically.
+func (c *Cluster) AcquireRun() { c.runMu.Lock() }
+
+// ReleaseRun releases the lock taken by AcquireRun.
+func (c *Cluster) ReleaseRun() { c.runMu.Unlock() }
 
 // EnableFaults builds a registry for spec and attaches it to the network
 // and every disk. Call once, after construction and before running

@@ -1,0 +1,79 @@
+package gamma
+
+import "fmt"
+
+// MemPool is the cluster-wide join-memory pool: the aggregate hash-table
+// memory of the joining processors, treated as a contended resource once
+// several queries run at the same time. A single-query run implicitly owns
+// the whole pool (its Spec.MemBytes/MemRatio *is* its grant); the workload
+// engine in internal/sched makes the grant explicit — every admitted query
+// Takes its memory at admission and Releases it at completion, so the
+// paper's central knob, the memory-to-inner-relation ratio of Figures 5-9,
+// becomes a per-query quantity decided by the admission policy.
+//
+// The pool is plain bookkeeping with no locking: the engine admits and
+// completes queries at simulated-time event boundaries on a single
+// goroutine, exactly like MarkDead/ReviveAll mutate the host map only at
+// phase barriers.
+type MemPool struct {
+	total int64
+	inUse int64
+	peak  int64
+	taken int // grants handed out over the pool's lifetime
+}
+
+// NewMemPool creates a pool of the given aggregate size in bytes.
+func NewMemPool(total int64) *MemPool {
+	if total < 0 {
+		total = 0
+	}
+	return &MemPool{total: total}
+}
+
+// JoinMemPool builds the cluster's join-memory pool: perSite bytes at each
+// of the default join processors (diskless sites in the remote
+// configuration, disk sites in the local one).
+func (c *Cluster) JoinMemPool(perSite int64) *MemPool {
+	return NewMemPool(perSite * int64(len(c.JoinSites())))
+}
+
+// Total returns the pool's aggregate size.
+func (p *MemPool) Total() int64 { return p.total }
+
+// Free returns the bytes currently not granted.
+func (p *MemPool) Free() int64 { return p.total - p.inUse }
+
+// InUse returns the bytes currently granted.
+func (p *MemPool) InUse() int64 { return p.inUse }
+
+// Peak returns the high-water mark of granted bytes.
+func (p *MemPool) Peak() int64 { return p.peak }
+
+// Grants returns how many grants Take has handed out.
+func (p *MemPool) Grants() int { return p.taken }
+
+// Take grants n bytes. The caller must have checked Free; over-committing
+// the pool is a scheduler bug, not a runtime condition, so it errors.
+func (p *MemPool) Take(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("gamma: memory grant must be positive, got %d", n)
+	}
+	if n > p.Free() {
+		return fmt.Errorf("gamma: memory grant %d exceeds free pool %d/%d", n, p.Free(), p.total)
+	}
+	p.inUse += n
+	p.taken++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return nil
+}
+
+// Release returns a grant to the pool.
+func (p *MemPool) Release(n int64) error {
+	if n < 0 || n > p.inUse {
+		return fmt.Errorf("gamma: releasing %d with only %d in use", n, p.inUse)
+	}
+	p.inUse -= n
+	return nil
+}

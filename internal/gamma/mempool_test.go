@@ -1,0 +1,48 @@
+package gamma
+
+import "testing"
+
+func TestMemPoolAccounting(t *testing.T) {
+	p := NewMemPool(100)
+	if p.Total() != 100 || p.Free() != 100 || p.InUse() != 0 {
+		t.Fatalf("fresh pool: total %d free %d inUse %d", p.Total(), p.Free(), p.InUse())
+	}
+	if err := p.Take(60); err != nil {
+		t.Fatalf("take 60: %v", err)
+	}
+	if err := p.Take(50); err == nil {
+		t.Fatal("take 50 with 40 free should fail")
+	}
+	if err := p.Take(40); err != nil {
+		t.Fatalf("take 40: %v", err)
+	}
+	if p.Free() != 0 || p.Peak() != 100 || p.Grants() != 2 {
+		t.Fatalf("after takes: free %d peak %d grants %d", p.Free(), p.Peak(), p.Grants())
+	}
+	if err := p.Release(60); err != nil {
+		t.Fatalf("release 60: %v", err)
+	}
+	if err := p.Release(41); err == nil {
+		t.Fatal("over-release should fail")
+	}
+	if err := p.Release(40); err != nil {
+		t.Fatalf("release 40: %v", err)
+	}
+	if p.Free() != 100 || p.Peak() != 100 {
+		t.Fatalf("drained pool: free %d peak %d", p.Free(), p.Peak())
+	}
+	if err := p.Take(0); err == nil {
+		t.Fatal("zero grant should fail")
+	}
+}
+
+func TestJoinMemPoolSizing(t *testing.T) {
+	c := NewRemote(4, 4, nil)
+	if got := c.JoinMemPool(1000).Total(); got != 4000 {
+		t.Fatalf("remote pool sized by diskless join sites: got %d, want 4000", got)
+	}
+	l := NewLocal(8, nil)
+	if got := l.JoinMemPool(1000).Total(); got != 8000 {
+		t.Fatalf("local pool sized by disk sites: got %d, want 8000", got)
+	}
+}

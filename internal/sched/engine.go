@@ -1,0 +1,470 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+)
+
+// Exec runs one admitted query with its memory grant and returns its report.
+// The executor owns everything sched does not care about: relations,
+// predicate shapes, the cluster. It must be deterministic in (q, grantBytes)
+// — the engine calls it exactly once per query, at admission, synchronously
+// on the event-loop goroutine.
+type Exec func(q *Query, grantBytes int64) (*core.Report, error)
+
+// Config wires an Engine.
+type Config struct {
+	Pool   *gamma.MemPool // cluster-wide join-memory pool
+	Policy Policy
+	MPL    int // multiprogramming level: max concurrent queries; <=0 = unlimited
+
+	// Model prices the Shrink policy's extra bucket-forming pass. Required
+	// for Shrink, unused otherwise.
+	Model *cost.Model
+
+	Exec Exec
+}
+
+// Engine admits and interleaves a workload. One engine runs one workload;
+// it is not reusable.
+type Engine struct {
+	cfg Config
+
+	now     int64
+	running []*runq // admission order
+	peakMPL int
+	// sitePeak tracks the lease high-water mark per site: how many
+	// resident queries held unfinished work there at once.
+	sitePeak map[int]int
+}
+
+// runStage is a running query's position within its current phase.
+type runStage int
+
+const (
+	stageSched runStage = iota // paying the phase's scheduling latency
+	stageWork                  // per-site work, processor-shared
+)
+
+// phaseSched is one phase of a query's schedule, extracted from its report:
+// the unshared scheduling latency plus per-site remaining work. Sites are
+// kept as a sorted slice so the event loop never iterates a map.
+type phaseSched struct {
+	name  string
+	sched int64
+	sites []int
+	rem   map[int]int64
+}
+
+// runq is one admitted query on the simulated timeline.
+type runq struct {
+	q       *Query
+	rep     *core.Report
+	grant   int64
+	admitNs int64
+
+	phases   []*phaseSched
+	pi       int
+	st       runStage
+	schedRem int64
+	done     bool
+	finishNs int64
+}
+
+// newRunq builds the interleavable schedule from the query's report.
+func newRunq(q *Query, rep *core.Report, grant, admitNs int64) *runq {
+	r := &runq{q: q, rep: rep, grant: grant, admitNs: admitNs}
+	for _, ps := range rep.Phases {
+		ph := &phaseSched{
+			name:  ps.Name,
+			sched: ps.Sched.Nanoseconds(),
+			rem:   make(map[int]int64, len(ps.PerSite)),
+		}
+		for site, a := range ps.PerSite {
+			if e := a.Elapsed(); e > 0 {
+				ph.sites = append(ph.sites, site)
+				ph.rem[site] = e
+			}
+		}
+		sort.Ints(ph.sites)
+		r.phases = append(r.phases, ph)
+	}
+	r.pi = -1
+	r.nextPhase()
+	return r
+}
+
+// nextPhase advances to the next phase with anything left to do, entering
+// its sched stage (or straight to work, or completion).
+func (r *runq) nextPhase() {
+	for {
+		r.pi++
+		if r.pi >= len(r.phases) {
+			r.done = true
+			return
+		}
+		ph := r.phases[r.pi]
+		if ph.sched > 0 {
+			r.st = stageSched
+			r.schedRem = ph.sched
+			return
+		}
+		if len(ph.sites) > 0 {
+			r.st = stageWork
+			return
+		}
+		// Empty phase (nothing charged): skip.
+	}
+}
+
+// workDone reports whether the current phase's per-site work is exhausted.
+func (r *runq) workDone() bool {
+	ph := r.phases[r.pi]
+	for _, site := range ph.sites {
+		if ph.rem[site] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// remainingNominal is the query's remaining schedule at load 1 — the time it
+// would still take running alone. The Shrink policy projects grant-release
+// times from it.
+func (r *runq) remainingNominal() int64 {
+	if r.done {
+		return 0
+	}
+	var t int64
+	if r.st == stageSched {
+		t += r.schedRem
+	}
+	for i := r.pi; i < len(r.phases); i++ {
+		ph := r.phases[i]
+		if i > r.pi {
+			t += ph.sched
+		}
+		var maxRem int64
+		for _, site := range ph.sites {
+			if ph.rem[site] > maxRem {
+				maxRem = ph.rem[site]
+			}
+		}
+		t += maxRem
+	}
+	return t
+}
+
+// New creates an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("sched: config needs a memory pool")
+	}
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("sched: config needs an executor")
+	}
+	if cfg.Policy == Shrink && cfg.Model == nil {
+		return nil, fmt.Errorf("sched: shrink policy needs a cost model")
+	}
+	return &Engine{cfg: cfg, sitePeak: make(map[int]int)}, nil
+}
+
+// minGrant is the smallest admissible memory grant: one tuple slot, the same
+// floor core applies per site.
+const minGrant = int64(tuple.Bytes)
+
+// clampDemand bounds a query's demand to what the pool can ever satisfy:
+// at least one tuple slot, at most the whole pool (pool wins if the two
+// conflict — an over-small pool must not make every query inadmissible).
+func (e *Engine) clampDemand(d int64) int64 {
+	if d < minGrant {
+		d = minGrant
+	}
+	if t := e.cfg.Pool.Total(); d > t {
+		d = t
+	}
+	return d
+}
+
+// decide applies the admission policy to the queue head: the grant to hand
+// it, or ok=false to leave it waiting for a completion.
+func (e *Engine) decide(q *Query) (int64, bool) {
+	free := e.cfg.Pool.Free()
+	demand := e.clampDemand(q.DemandBytes)
+	switch e.cfg.Policy {
+	case FIFO:
+		return demand, free >= demand
+	case Fair:
+		// Equal slices: with a bounded MPL every query is entitled to
+		// pool/MPL, so admissions never wait on memory until the MPL cap
+		// itself binds; with unlimited MPL the share adapts to the
+		// current population.
+		den := int64(len(e.running) + 1)
+		if e.cfg.MPL > 0 {
+			den = int64(e.cfg.MPL)
+		}
+		share := e.cfg.Pool.Total() / den
+		g := demand
+		if share < g {
+			g = share
+		}
+		floor := demand / 8
+		if floor < minGrant {
+			floor = minGrant
+		}
+		if g < floor || free < g {
+			return 0, false
+		}
+		return g, true
+	case Shrink:
+		for k := int64(1); k <= 8; k++ {
+			g := (demand + k - 1) / k
+			if g < minGrant {
+				g = minGrant
+			}
+			if g > free {
+				continue
+			}
+			if k == 1 {
+				return g, true
+			}
+			// A grant of demand/k runs Hybrid with k buckets instead of
+			// one: (k-1)/k of both relations detours through disk buckets
+			// (Section 3.4). Pay that only if the full grant is further
+			// away than the pass costs.
+			spill := (q.DemandBytes + q.OuterBytes) * (k - 1) / k
+			extra := e.cfg.Model.RepartitionPassNs(spill, tuple.Bytes)
+			if extra <= e.projectedWait(demand) {
+				return g, true
+			}
+			return 0, false
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// projectedWait estimates how long until `demand` bytes are free, assuming
+// each running query releases its grant after its remaining nominal
+// schedule. It walks releases in nominal-completion order.
+func (e *Engine) projectedWait(demand int64) int64 {
+	type rel struct {
+		at    int64
+		grant int64
+	}
+	rels := make([]rel, 0, len(e.running))
+	for _, r := range e.running {
+		rels = append(rels, rel{at: r.remainingNominal(), grant: r.grant})
+	}
+	sort.SliceStable(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
+	free := e.cfg.Pool.Free()
+	for _, rl := range rels {
+		free += rl.grant
+		if free >= demand {
+			return rl.at
+		}
+	}
+	// Unreachable when demand is clamped to the pool; treat as "forever".
+	return int64(^uint64(0) >> 1)
+}
+
+// Run executes the workload to completion and returns its result. queries
+// must be in arrival order. The loop is a single-goroutine event simulation:
+// between events every site serves its resident queries processor-sharing
+// style, so a phase's work stretches by the site's load while its
+// scheduling latency (the Gamma scheduler talking to operator processes)
+// does not contend.
+func (e *Engine) Run(queries []*Query) (*Result, error) {
+	for i := 1; i < len(queries); i++ {
+		if queries[i].ArriveNs < queries[i-1].ArriveNs {
+			return nil, fmt.Errorf("sched: queries out of arrival order at %d", i)
+		}
+	}
+	var (
+		next      int // next unarrived query
+		waitq     []*Query
+		admitted  = make(map[int]*runq, len(queries))
+		loads     = make(map[int]int)
+		completed int
+	)
+	for completed < len(queries) {
+		// Arrivals at or before now join the admission queue in order.
+		for next < len(queries) && queries[next].ArriveNs <= e.now {
+			waitq = append(waitq, queries[next])
+			next++
+		}
+		// Admit the queue head while the policy allows. Admission is FIFO
+		// for every policy: a query never overtakes an earlier arrival, so
+		// grants differ between policies but order never does.
+		for len(waitq) > 0 {
+			if e.cfg.MPL > 0 && len(e.running) >= e.cfg.MPL {
+				break
+			}
+			q := waitq[0]
+			grant, ok := e.decide(q)
+			if !ok {
+				break
+			}
+			if err := e.cfg.Pool.Take(grant); err != nil {
+				return nil, fmt.Errorf("sched: admitting query %d: %w", q.ID, err)
+			}
+			rep, err := e.cfg.Exec(q, grant)
+			if err != nil {
+				return nil, fmt.Errorf("sched: executing query %d: %w", q.ID, err)
+			}
+			rq := newRunq(q, rep, grant, e.now)
+			admitted[q.ID] = rq
+			waitq = waitq[1:]
+			if rq.done { // degenerate empty schedule
+				rq.finishNs = e.now
+				completed++
+				if err := e.cfg.Pool.Release(grant); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			e.running = append(e.running, rq)
+			if len(e.running) > e.peakMPL {
+				e.peakMPL = len(e.running)
+			}
+		}
+		if len(e.running) == 0 {
+			if len(waitq) > 0 {
+				// Nothing running, nothing releasing, head inadmissible:
+				// only a future arrival could change anything, and it
+				// cannot shrink the head's demand. That is a policy bug.
+				if next < len(queries) {
+					e.now = queries[next].ArriveNs
+					continue
+				}
+				return nil, fmt.Errorf("sched: deadlock: query %d inadmissible with idle pool (%d free of %d)",
+					waitq[0].ID, e.cfg.Pool.Free(), e.cfg.Pool.Total())
+			}
+			if next < len(queries) {
+				e.now = queries[next].ArriveNs
+				continue
+			}
+			break
+		}
+
+		// Site loads: how many resident queries hold an unfinished lease on
+		// each site. Iterating running (admission order) and each phase's
+		// sorted site slice keeps this loop map-iteration-free.
+		for k := range loads {
+			delete(loads, k)
+		}
+		for _, r := range e.running {
+			if r.st != stageWork {
+				continue
+			}
+			ph := r.phases[r.pi]
+			for _, site := range ph.sites {
+				if ph.rem[site] > 0 {
+					loads[site]++
+				}
+			}
+		}
+		for _, r := range e.running {
+			if r.st != stageWork {
+				continue
+			}
+			ph := r.phases[r.pi]
+			for _, site := range ph.sites {
+				if ph.rem[site] > 0 && loads[site] > e.sitePeak[site] {
+					e.sitePeak[site] = loads[site]
+				}
+			}
+		}
+
+		// Next event: the earliest of (a) a sched stage finishing, (b) some
+		// site draining some query's remaining work at its current load,
+		// (c) the next arrival. Candidate (b) is rem*load: at rate 1/load
+		// that takes the remainder exactly to zero, so integer floor
+		// division still guarantees progress every iteration.
+		const inf = int64(^uint64(0) >> 1)
+		dt := inf
+		if next < len(queries) {
+			if gap := queries[next].ArriveNs - e.now; gap < dt {
+				dt = gap
+			}
+		}
+		for _, r := range e.running {
+			if r.st == stageSched {
+				if r.schedRem < dt {
+					dt = r.schedRem
+				}
+				continue
+			}
+			ph := r.phases[r.pi]
+			for _, site := range ph.sites {
+				rem := ph.rem[site]
+				if rem <= 0 {
+					continue
+				}
+				if c := rem * int64(loads[site]); c < dt {
+					dt = c
+				}
+			}
+		}
+		if dt == inf || dt <= 0 {
+			return nil, fmt.Errorf("sched: stalled at t=%dns with %d running", e.now, len(e.running))
+		}
+
+		// Advance the clock and every running query by dt.
+		e.now += dt
+		for _, r := range e.running {
+			if r.st == stageSched {
+				r.schedRem -= dt
+				if r.schedRem <= 0 {
+					r.schedRem = 0
+					if len(r.phases[r.pi].sites) > 0 {
+						r.st = stageWork
+					} else {
+						r.nextPhase()
+					}
+				}
+				continue
+			}
+			ph := r.phases[r.pi]
+			for _, site := range ph.sites {
+				rem := ph.rem[site]
+				if rem <= 0 {
+					continue
+				}
+				dec := dt / int64(loads[site])
+				if dec >= rem {
+					ph.rem[site] = 0
+				} else {
+					ph.rem[site] = rem - dec
+				}
+			}
+			if r.workDone() {
+				r.nextPhase()
+			}
+		}
+
+		// Retire completions in admission order and release their grants —
+		// the admission loop at the top of the next iteration sees the
+		// freed memory immediately.
+		alive := e.running[:0]
+		for _, r := range e.running {
+			if !r.done {
+				alive = append(alive, r)
+				continue
+			}
+			r.finishNs = e.now
+			completed++
+			if err := e.cfg.Pool.Release(r.grant); err != nil {
+				return nil, err
+			}
+		}
+		e.running = alive
+	}
+	return e.buildResult(queries, admitted), nil
+}

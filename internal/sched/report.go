@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gammajoin/internal/core"
+)
+
+// QueryResult is one query's fate through the workload.
+type QueryResult struct {
+	ID     int
+	Alg    core.Algorithm
+	HPJA   bool
+	Filter bool
+	Small  bool
+
+	ArriveNs int64 // simulated arrival
+	AdmitNs  int64 // admission (grant handed out, execution planned)
+	FinishNs int64 // last phase drained on the shared timeline
+
+	DemandBytes int64
+	GrantBytes  int64
+	// RatioAtAdmission is GrantBytes/DemandBytes — the memory-to-inner-
+	// relation ratio (Figures 5-9) this query actually ran at, decided by
+	// the admission policy rather than by the experimenter.
+	RatioAtAdmission float64
+
+	// NominalNs is the query's stand-alone response time (its report's
+	// response at the granted memory); ResponseNs = FinishNs-ArriveNs is
+	// what the workload delivered, queueing and interference included.
+	NominalNs  int64
+	ResponseNs int64
+	WaitNs     int64 // AdmitNs - ArriveNs
+
+	ResultCount int64
+	ResultSum   uint64
+
+	Report *core.Report // full single-query report (trace included)
+}
+
+// Stretch is the response-time inflation over running alone: ResponseNs
+// divided by NominalNs.
+func (q *QueryResult) Stretch() float64 {
+	if q.NominalNs <= 0 {
+		return 1
+	}
+	return float64(q.ResponseNs) / float64(q.NominalNs)
+}
+
+// Result is the workload engine's report.
+type Result struct {
+	Policy Policy
+	MPL    int
+
+	PoolTotal int64
+	PoolPeak  int64
+
+	Queries []QueryResult // arrival order
+
+	MakespanNs int64 // last finish on the simulated clock
+	// ThroughputQPS is completed queries per simulated second of makespan.
+	ThroughputQPS float64
+
+	// Response-time percentiles (nearest-rank) over FinishNs-ArriveNs.
+	P50Ns, P95Ns, P99Ns int64
+	MeanWaitNs          int64
+
+	PeakMPL int // most queries concurrently resident
+
+	// SitePeak is each site's lease high-water mark: the most queries that
+	// simultaneously held unfinished work there.
+	SitePeak map[int]int
+}
+
+// buildResult assembles the workload report after the event loop drains.
+func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
+	res := &Result{
+		Policy:    e.cfg.Policy,
+		MPL:       e.cfg.MPL,
+		PoolTotal: e.cfg.Pool.Total(),
+		PoolPeak:  e.cfg.Pool.Peak(),
+		PeakMPL:   e.peakMPL,
+		SitePeak:  e.sitePeak,
+	}
+	var waitSum int64
+	for _, q := range queries {
+		r := admitted[q.ID]
+		qr := QueryResult{
+			ID:          q.ID,
+			Alg:         q.Alg,
+			HPJA:        q.HPJA,
+			Filter:      q.Filter,
+			Small:       q.Small,
+			ArriveNs:    q.ArriveNs,
+			AdmitNs:     r.admitNs,
+			FinishNs:    r.finishNs,
+			DemandBytes: q.DemandBytes,
+			GrantBytes:  r.grant,
+			NominalNs:   r.rep.Response.Nanoseconds(),
+			ResponseNs:  r.finishNs - q.ArriveNs,
+			WaitNs:      r.admitNs - q.ArriveNs,
+			ResultCount: r.rep.ResultCount,
+			ResultSum:   r.rep.ResultSum,
+			Report:      r.rep,
+		}
+		if q.DemandBytes > 0 {
+			qr.RatioAtAdmission = float64(r.grant) / float64(q.DemandBytes)
+		}
+		waitSum += qr.WaitNs
+		if r.finishNs > res.MakespanNs {
+			res.MakespanNs = r.finishNs
+		}
+		res.Queries = append(res.Queries, qr)
+	}
+	if n := len(queries); n > 0 {
+		res.MeanWaitNs = waitSum / int64(n)
+		if res.MakespanNs > 0 {
+			res.ThroughputQPS = float64(n) / (float64(res.MakespanNs) / 1e9)
+		}
+		resp := make([]int64, 0, n)
+		for _, qr := range res.Queries {
+			resp = append(resp, qr.ResponseNs)
+		}
+		sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+		res.P50Ns = percentile(resp, 50)
+		res.P95Ns = percentile(resp, 95)
+		res.P99Ns = percentile(resp, 99)
+	}
+	return res
+}
+
+// percentile is the nearest-rank percentile of a sorted slice.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// WriteText renders the workload report as a fixed-layout text table. All
+// values derive from simulated time and integer counters, so two identical
+// runs print byte-identical reports — the CLI's -mpl output sits under the
+// same determinism gate as the single-query experiments.
+func (r *Result) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "workload: %d queries, policy %s, mpl %s, pool %.1f MB\n",
+		len(r.Queries), r.Policy, mplLabel(r.MPL), float64(r.PoolTotal)/(1<<20))
+	fmt.Fprintf(bw, "%3s  %-10s %-5s %-5s %-5s %10s %9s %9s %6s %10s %10s %8s %9s  %s\n",
+		"q", "alg", "hpja", "filt", "small", "arrive_ms", "wait_ms", "grant_KB",
+		"ratio", "nominal_ms", "resp_ms", "stretch", "results", "checksum")
+	for _, q := range r.Queries {
+		fmt.Fprintf(bw, "%3d  %-10s %-5v %-5v %-5v %10.1f %9.1f %9.0f %6.3f %10.1f %10.1f %8.2f %9d  %016x\n",
+			q.ID, q.Alg, q.HPJA, q.Filter, q.Small,
+			ms(q.ArriveNs), ms(q.WaitNs), float64(q.GrantBytes)/1024,
+			q.RatioAtAdmission, ms(q.NominalNs), ms(q.ResponseNs), q.Stretch(),
+			q.ResultCount, q.ResultSum)
+	}
+	fmt.Fprintf(bw, "makespan %.3f sim-s, throughput %.3f q/s\n",
+		float64(r.MakespanNs)/1e9, r.ThroughputQPS)
+	fmt.Fprintf(bw, "response p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; mean admission wait %.1f ms\n",
+		ms(r.P50Ns), ms(r.P95Ns), ms(r.P99Ns), ms(r.MeanWaitNs))
+	fmt.Fprintf(bw, "pool peak %.1f%% of %.1f MB; peak concurrency %d; site leases:",
+		poolPct(r.PoolPeak, r.PoolTotal), float64(r.PoolTotal)/(1<<20), r.PeakMPL)
+	sites := make([]int, 0, len(r.SitePeak))
+	for s := range r.SitePeak {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	for _, s := range sites {
+		fmt.Fprintf(bw, " %d:%d", s, r.SitePeak[s])
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}
+
+func poolPct(peak, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(peak) / float64(total)
+}
+
+func mplLabel(mpl int) string {
+	if mpl <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", mpl)
+}
+
+// Makespan returns the makespan as a Duration.
+func (r *Result) Makespan() time.Duration { return time.Duration(r.MakespanNs) }

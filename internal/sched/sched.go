@@ -1,0 +1,171 @@
+// Package sched is the multi-query workload engine: it admits a stream of
+// join queries onto one simulated Gamma cluster, arbitrates the cluster-wide
+// join-memory pool between them, and interleaves their phase schedules on a
+// shared simulated timeline.
+//
+// The paper (Schneider & DeWitt, SIGMOD 1989) measures one join at a time
+// and argues about multiuser behaviour indirectly — through CPU utilization
+// (Section 4.5) and through how each algorithm degrades as its
+// memory-to-inner-relation ratio shrinks (Figures 5-9). This package makes
+// that argument executable: under concurrency the memory ratio is not an
+// experimental knob but the *outcome of admission control*, and the three
+// policies here span the design space the paper implies:
+//
+//   - FIFO: every query waits for its full demand — single-user response
+//     times, serialized by memory.
+//   - Fair: an arriving query takes at most an equal share of the pool —
+//     everybody runs degraded, nobody queues long.
+//   - Shrink: Hybrid-aware shrink-to-fit — take a smaller grant now if and
+//     only if the paper's partition-overflow price (the extra bucket-forming
+//     pass over the spilled fraction) is cheaper than the projected wait for
+//     a full grant.
+//
+// Execution is two-layered, preserving byte-determinism: each admitted query
+// executes for real through core.Run with its granted memory (producing its
+// per-phase, per-site cost accounts), and the engine then interleaves those
+// phase schedules with an event-driven processor-sharing simulation in
+// integer nanoseconds. Concurrency never changes a query's *results* — only
+// its timing — which is what the serial-vs-concurrent equivalence suite
+// asserts. See docs/SCHEDULER.md.
+package sched
+
+import (
+	"fmt"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/xrand"
+)
+
+// Policy selects the admission controller's memory-arbitration strategy.
+type Policy int
+
+const (
+	// FIFO admits the queue head only once its full demand (clamped to the
+	// pool) is free, and grants all of it. No query ever runs with a
+	// degraded memory ratio; queries queue instead.
+	FIFO Policy = iota
+	// Fair grants the head min(demand, pool/MPL) — an equal slice of the
+	// pool per multiprogramming slot (pool/(running+1) when MPL is
+	// unbounded) — but never less than 1/8 of demand, the lowest memory
+	// ratio the paper plots (Figures 5-9). Below the floor it waits.
+	Fair
+	// Shrink is the Hybrid-aware shrink-to-fit policy: it looks for the
+	// smallest integral divisor k <= 8 such that demand/k fits in the free
+	// pool, and accepts the shrunken grant only when the paper's
+	// partition-overflow price — one extra bucket-forming pass over the
+	// spilled (k-1)/k of both relations (Section 3.4) — is no more than
+	// the projected wait for a full grant. Integral-reciprocal grants keep
+	// Hybrid on the integral points of Figure 7, avoiding the
+	// non-integral-ratio overflow pathology.
+	Shrink
+)
+
+// Policies lists every policy, in flag-name order.
+var Policies = []Policy{FIFO, Fair, Shrink}
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Fair:
+		return "fair"
+	case Shrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "fair":
+		return Fair, nil
+	case "shrink":
+		return Shrink, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (want fifo, fair, or shrink)", s)
+}
+
+// Query is one workload item: the join shape the executor understands plus
+// the admission controller's inputs (arrival time and memory demand).
+type Query struct {
+	ID int // 1-based workload id; becomes core.Spec.QueryID
+
+	// Shape knobs interpreted by the executor callback.
+	Alg    core.Algorithm
+	HPJA   bool // join on the hash-partitioning attribute (Table 2)
+	Filter bool // Babb bit-vector filtering (Section 4.2)
+	Small  bool // half-sized relations ("small" queries in the mix)
+
+	// ArriveNs is the query's arrival on the simulated clock.
+	ArriveNs int64
+	// DemandBytes is the full memory demand: the inner relation's size,
+	// i.e. the grant that yields memory ratio 1.0.
+	DemandBytes int64
+	// OuterBytes sizes the outer relation, used by the Shrink policy to
+	// price the extra bucket-forming pass a shrunken grant causes.
+	OuterBytes int64
+}
+
+// WorkloadSpec parameterizes the deterministic workload generator.
+type WorkloadSpec struct {
+	N    int    // number of queries
+	Seed uint64 // xrand seed; same seed, same workload, bit for bit
+
+	// MeanGapNs is the mean inter-arrival gap in simulated nanoseconds;
+	// gaps are drawn uniformly from [MeanGapNs/2, 3*MeanGapNs/2).
+	MeanGapNs int64
+
+	// Relation sizes for demand accounting. Small queries use the Small*
+	// sizes (defaulting to half the full sizes when zero).
+	InnerBytes, OuterBytes           int64
+	SmallInnerBytes, SmallOuterBytes int64
+
+	// Algs is the algorithm mix to draw from; nil means all four.
+	Algs []core.Algorithm
+}
+
+// GenWorkload builds the arrival schedule for spec. Everything is integer
+// arithmetic off one seeded xrand source, so the same spec always yields the
+// same workload — the arrival schedule is part of the determinism contract.
+func GenWorkload(ws WorkloadSpec) []*Query {
+	algs := ws.Algs
+	if len(algs) == 0 {
+		algs = []core.Algorithm{core.SortMerge, core.Simple, core.Grace, core.Hybrid}
+	}
+	gap := ws.MeanGapNs
+	if gap <= 0 {
+		gap = 1
+	}
+	smallInner, smallOuter := ws.SmallInnerBytes, ws.SmallOuterBytes
+	if smallInner <= 0 {
+		smallInner = ws.InnerBytes / 2
+	}
+	if smallOuter <= 0 {
+		smallOuter = ws.OuterBytes / 2
+	}
+	src := xrand.New(ws.Seed)
+	var t int64
+	out := make([]*Query, 0, ws.N)
+	for i := 0; i < ws.N; i++ {
+		t += gap/2 + int64(src.Uint64()%uint64(gap))
+		q := &Query{
+			ID:       i + 1,
+			ArriveNs: t,
+			Alg:      algs[src.Intn(len(algs))],
+			HPJA:     src.Intn(2) == 0,
+			Filter:   src.Intn(4) == 0,
+			Small:    src.Intn(3) == 0,
+		}
+		if q.Small {
+			q.DemandBytes, q.OuterBytes = smallInner, smallOuter
+		} else {
+			q.DemandBytes, q.OuterBytes = ws.InnerBytes, ws.OuterBytes
+		}
+		out = append(out, q)
+	}
+	return out
+}

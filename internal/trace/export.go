@@ -45,27 +45,36 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	}
 	schedTid := len(r.SiteLabels())
 
+	// The Chrome "process" is the query: standalone runs are query 0, and
+	// multi-query workloads (internal/sched) give each query its own id, so
+	// merged timelines show one process track per query with the machine's
+	// site threads repeated inside each.
+	qid := r.QueryID()
+	procName := "gamma simulator (simulated time)"
+	if qid != 0 {
+		procName = fmt.Sprintf("query %d (simulated time)", qid)
+	}
 	var evs []chromeEvent
 	evs = append(evs, chromeEvent{
-		Name: "process_name", Ph: "M",
-		Args: map[string]any{"name": "gamma simulator (simulated time)"},
+		Name: "process_name", Ph: "M", Pid: qid,
+		Args: map[string]any{"name": procName},
 	})
 	for site, label := range r.SiteLabels() {
 		evs = append(evs, chromeEvent{
-			Name: "thread_name", Ph: "M", Tid: site,
+			Name: "thread_name", Ph: "M", Pid: qid, Tid: site,
 			Args: map[string]any{"name": label},
 		})
 		evs = append(evs, chromeEvent{
-			Name: "thread_sort_index", Ph: "M", Tid: site,
+			Name: "thread_sort_index", Ph: "M", Pid: qid, Tid: site,
 			Args: map[string]any{"sort_index": site},
 		})
 	}
 	evs = append(evs, chromeEvent{
-		Name: "thread_name", Ph: "M", Tid: schedTid,
+		Name: "thread_name", Ph: "M", Pid: qid, Tid: schedTid,
 		Args: map[string]any{"name": "scheduler"},
 	})
 	evs = append(evs, chromeEvent{
-		Name: "thread_sort_index", Ph: "M", Tid: schedTid,
+		Name: "thread_sort_index", Ph: "M", Pid: qid, Tid: schedTid,
 		Args: map[string]any{"sort_index": schedTid},
 	})
 
@@ -86,12 +95,12 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			args["bucket"] = s.Bucket
 		}
 		evs = append(evs, chromeEvent{
-			Name: s.Op, Cat: s.Role, Ph: "X", Tid: tid,
+			Name: s.Op, Cat: s.Role, Ph: "X", Pid: qid, Tid: tid,
 			Ts: usec(s.Start), Dur: usec(s.Dur), Args: args,
 		})
 		for _, ev := range s.Events {
 			evs = append(evs, chromeEvent{
-				Name: ev.Kind, Cat: "fault", Ph: "i", Tid: tid,
+				Name: ev.Kind, Cat: "fault", Ph: "i", Pid: qid, Tid: tid,
 				Ts: usec(ev.At), S: "t",
 				Args: map[string]any{"detail": ev.Detail, "op": s.Op},
 			})
@@ -103,7 +112,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			tid = schedTid
 		}
 		evs = append(evs, chromeEvent{
-			Name: in.Kind, Cat: "fault", Ph: "i", Tid: tid,
+			Name: in.Kind, Cat: "fault", Ph: "i", Pid: qid, Tid: tid,
 			Ts: usec(in.At), S: "p",
 			Args: map[string]any{"detail": in.Detail, "attempt": in.Attempt},
 		})
@@ -111,7 +120,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	for _, smp := range r.Metrics().Samples() {
 		for _, kv := range smp.Values {
 			evs = append(evs, chromeEvent{
-				Name: kv.Name, Ph: "C", Ts: usec(smp.At),
+				Name: kv.Name, Ph: "C", Pid: qid, Ts: usec(smp.At),
 				Args: map[string]any{"value": kv.V},
 			})
 		}
@@ -150,7 +159,7 @@ func (r *Recorder) WriteSpansTSV(w io.Writer) error {
 		return fmt.Errorf("trace: recorder disabled")
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "attempt\tphase\tphase_name\tsite\trole\top\tbucket\tstart_ns\tdur_ns\tcpu_ns\tdisk_ns\tnet_ns\tevents")
+	fmt.Fprintln(bw, "query\tattempt\tphase\tphase_name\tsite\trole\top\tbucket\tstart_ns\tdur_ns\tcpu_ns\tdisk_ns\tnet_ns\tevents")
 	for _, s := range r.Spans() {
 		evs := ""
 		for i, ev := range s.Events {
@@ -159,8 +168,8 @@ func (r *Recorder) WriteSpansTSV(w io.Writer) error {
 			}
 			evs += fmt.Sprintf("%s@%d(%d)", ev.Kind, ev.At, ev.Detail)
 		}
-		fmt.Fprintf(bw, "%d\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
-			s.Attempt, s.Phase, s.PhaseName, s.Site, s.Role, s.Op, s.Bucket,
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.QueryID(), s.Attempt, s.Phase, s.PhaseName, s.Site, s.Role, s.Op, s.Bucket,
 			s.Start, s.Dur, s.CPU, s.Disk, s.Net, evs)
 	}
 	return bw.Flush()

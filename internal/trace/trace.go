@@ -84,6 +84,8 @@ func (t Totals) Busy() int64 { return t.CPU + t.Disk + t.Net }
 type Recorder struct {
 	labels []string // per-site track labels, index = site id
 
+	queryID int // workload query id; 0 for standalone runs
+
 	mu        sync.Mutex
 	now       int64 // virtual clock, simulated ns
 	attempt   int   // current attempt, -1 before NewAttempt
@@ -109,6 +111,26 @@ func NewRecorder(siteLabels []string) *Recorder {
 
 // Enabled reports whether the recorder actually records.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetQuery stamps the recorder with a workload query id. The id is a whole
+// extra span dimension for multi-query runs (internal/sched): exporters key
+// the timeline's process on it, so concurrent queries land on separate
+// process tracks while site/phase/attempt semantics stay unchanged. Call
+// before the first phase; id 0 (the default) means a standalone query.
+func (r *Recorder) SetQuery(id int) {
+	if r == nil {
+		return
+	}
+	r.queryID = id
+}
+
+// QueryID returns the workload query id set by SetQuery (0 when unset).
+func (r *Recorder) QueryID() int {
+	if r == nil {
+		return 0
+	}
+	return r.queryID
+}
 
 // SiteLabels returns the per-site track labels.
 func (r *Recorder) SiteLabels() []string {

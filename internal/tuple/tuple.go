@@ -122,3 +122,24 @@ type Joined struct {
 	Inner Tuple
 	Outer Tuple
 }
+
+// Checksum folds the joined pair's integer attributes into a 64-bit value.
+// The per-tuple hashes are combined with a mixing chain, so two different
+// result tuples almost never collide, while summing checksums over a result
+// set is order-independent — which is what lets concurrent and serial
+// executions of the same query be compared tuple-for-tuple without
+// collecting either result set (see Report.ResultSum in internal/core).
+func (j *Joined) Checksum() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	fold := func(t *Tuple) {
+		for _, v := range t.Ints {
+			h ^= uint64(uint32(v))
+			h *= 0xBF58476D1CE4E5B9
+			h ^= h >> 29
+		}
+	}
+	fold(&j.Inner)
+	fold(&j.Outer)
+	h *= 0x94D049BB133111EB
+	return h ^ (h >> 32)
+}

@@ -1,18 +1,22 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build lint test race bench bench-baseline deflake mpl determinism chaos trace avail clean
+.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail clean
 
-all: build lint test
+all: build vet test
 
 build:
 	$(GO) build ./...
 
-# lint runs the stock vet suite plus gammavet, the repo's own analyzers
-# (simulator determinism + cost-model accounting; see docs/STATIC_ANALYSIS.md).
-lint:
+# vet runs the stock go vet plus all seven gammavet analyzers repo-wide —
+# determinism, costcharge, faultpoint, spancheck, unitflow, leakcheck,
+# wallclock (docs/STATIC_ANALYSIS.md). Any diagnostic fails the build.
+vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/gammavet ./...
+
+# lint is the historical alias for vet.
+lint: vet
 
 test:
 	$(GO) test ./...
@@ -37,6 +41,15 @@ bench:
 bench-baseline:
 	$(GO) test $(BENCH_FLAGS) > /tmp/gammajoin-bench.txt || { cat /tmp/gammajoin-bench.txt; exit 1; }
 	$(GO) run ./cmd/benchcheck -emit BENCH_$(BENCH_SEED).json < /tmp/gammajoin-bench.txt
+
+# bench-sim gates only the simulated metrics — the machine-independent,
+# must-match-exactly half of the bench gate. A drifted sim metric is a
+# correctness change, not a perf regression, so this gate has no tolerance
+# and no noise. Reuses the bench run's output when one exists.
+bench-sim:
+	@test -s /tmp/gammajoin-bench.txt || $(GO) test $(BENCH_FLAGS) > /tmp/gammajoin-bench.txt || { cat /tmp/gammajoin-bench.txt; exit 1; }
+	$(GO) run ./cmd/benchcheck -sim-only -against BENCH_$(BENCH_SEED).json < /tmp/gammajoin-bench.txt
+	@echo "sim-metrics gate: OK"
 
 # deflake is the flakiness audit: the whole test suite 5x under the race
 # detector; any run-to-run variance fails it.

@@ -136,7 +136,10 @@ func readBaseline(path string) (*Baseline, error) {
 }
 
 // compare gates current against base, returning the failure messages.
-func compare(base, cur map[string]Bench, tolerance float64) []string {
+// simOnly skips the wall-clock gate and checks only the simulated metrics —
+// the mode CI uses, where machine noise would make wall-clock ratios
+// meaningless but simulated results must still match the baseline exactly.
+func compare(base, cur map[string]Bench, tolerance float64, simOnly bool) []string {
 	var names []string
 	for name := range base {
 		names = append(names, name)
@@ -169,7 +172,7 @@ func compare(base, cur map[string]Bench, tolerance float64) []string {
 			continue
 		}
 		b := base[name]
-		if b.WallNs > 0 {
+		if !simOnly && b.WallNs > 0 {
 			norm := c.WallNs / b.WallNs / median
 			if norm > 1+tolerance {
 				fails = append(fails, fmt.Sprintf("%s: wall-clock regressed %.0f%% beyond the machine-normalized baseline (%.2gns -> %.2gns, normalized %.2fx)",
@@ -200,6 +203,7 @@ func main() {
 	emit := flag.String("emit", "", "write the parsed benchmarks to this JSON file")
 	against := flag.String("against", "", "compare the parsed benchmarks against this baseline JSON")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional wall-clock regression after machine normalization")
+	simOnly := flag.Bool("sim-only", false, "gate only the simulated metrics (exact match); skip the wall-clock comparison")
 	flag.Parse()
 	if *emit == "" && *against == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: need -emit and/or -against")
@@ -223,7 +227,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fails := compare(base.Benchmarks, benches, *tolerance)
+		fails := compare(base.Benchmarks, benches, *tolerance, *simOnly)
 		for _, f := range fails {
 			fmt.Printf("benchcheck: FAIL %s\n", f)
 		}

@@ -33,6 +33,7 @@ import (
 	"gammajoin/internal/experiments"
 	"gammajoin/internal/fault"
 	"gammajoin/internal/sched"
+	"gammajoin/internal/walltime"
 )
 
 func main() {
@@ -115,7 +116,7 @@ func main() {
 		// A -detect-timeout of T declares a site dead T simulated ms after
 		// its last heartbeat: one heartbeat period of T ms, one missed beat.
 		p := cost.DefaultParams()
-		p.HeartbeatMs = *detectTimeout
+		p.HeartbeatMs = cost.Ms(*detectTimeout)
 		p.HeartbeatMisses = 1
 		cfg.Model = cost.NewModel(p)
 	}
@@ -169,7 +170,7 @@ func main() {
 	}
 
 	for _, e := range entries {
-		start := time.Now()
+		start := walltime.Now()
 		results, err := e.Run(h)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gammabench: %s: %v\n", e.Name, err)
@@ -184,7 +185,7 @@ func main() {
 			}
 		}
 		if *timings {
-			fmt.Printf("[%s took %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s took %v]\n\n", e.Name, walltime.Since(start).Round(time.Millisecond))
 		}
 	}
 	printRecovery(h)

@@ -13,8 +13,10 @@
 // (internal/core, internal/netsim, internal/cost, internal/disk,
 // internal/fault, internal/trace by default), costcharge to the execution
 // engine (internal/core), faultpoint to every package that could plausibly
-// touch the fault registry, and spancheck to the phase machinery
-// (internal/core). Packages outside all scopes are skipped. Exit status is
+// touch the fault registry, spancheck to the phase machinery
+// (internal/core), unitflow to every package that handles cost units,
+// leakcheck to the packages that launch goroutines, and wallclock to the
+// whole module. Packages outside all scopes are skipped. Exit status is
 // 1 when any diagnostic is reported and 2 on usage or load errors.
 package main
 
@@ -41,6 +43,13 @@ func main() {
 			"comma-separated package path suffixes checked by the faultpoint analyzer")
 		spancheckPkgs = flag.String("spancheck-pkgs", "internal/core",
 			"comma-separated package path suffixes checked by the spancheck analyzer")
+		unitflowPkgs = flag.String("unitflow-pkgs",
+			"internal/core,internal/netsim,internal/disk,internal/wiss,internal/gamma,internal/sched,internal/trace,internal/experiments,cmd/gammabench",
+			"comma-separated package path suffixes checked by the unitflow analyzer")
+		leakcheckPkgs = flag.String("leakcheck-pkgs", "internal/core,internal/sched,internal/netsim",
+			"comma-separated package path suffixes checked by the leakcheck analyzer")
+		wallclockPkgs = flag.String("wallclock-pkgs", "*",
+			"comma-separated package path suffixes checked by the wallclock analyzer (\"*\" = every package)")
 		verbose = flag.Bool("v", false, "list analyzed packages")
 	)
 	flag.Parse()
@@ -58,6 +67,9 @@ func main() {
 		analysis.CostCharge:  splitList(*costchargePkgs),
 		analysis.FaultPoint:  splitList(*faultpointPkgs),
 		analysis.SpanCheck:   splitList(*spancheckPkgs),
+		analysis.UnitFlow:    splitList(*unitflowPkgs),
+		analysis.LeakCheck:   splitList(*leakcheckPkgs),
+		analysis.WallClock:   splitList(*wallclockPkgs),
 	}
 
 	dirs, err := resolvePatterns(loader.ModRoot(), patterns)
@@ -73,7 +85,10 @@ func main() {
 			continue
 		}
 		var todo []*analysis.Analyzer
-		for _, a := range []*analysis.Analyzer{analysis.Determinism, analysis.CostCharge, analysis.FaultPoint, analysis.SpanCheck} {
+		for _, a := range []*analysis.Analyzer{
+			analysis.Determinism, analysis.CostCharge, analysis.FaultPoint, analysis.SpanCheck,
+			analysis.UnitFlow, analysis.LeakCheck, analysis.WallClock,
+		} {
 			if inScope(path, scopes[a]) {
 				todo = append(todo, a)
 			}
@@ -126,7 +141,7 @@ func splitList(s string) []string {
 
 func inScope(path string, suffixes []string) bool {
 	for _, s := range suffixes {
-		if path == s || strings.HasSuffix(path, "/"+s) {
+		if s == "*" || path == s || strings.HasSuffix(path, "/"+s) {
 			return true
 		}
 	}

@@ -1,0 +1,38 @@
+// Package wallclock seeds real-clock uses for the wallclock analyzer.
+package wallclock
+
+import (
+	"time"
+
+	"gammajoin/internal/walltime"
+)
+
+// reads hits the clock-reading functions.
+func reads() time.Duration {
+	start := time.Now()                    // want `time.Now touches the real clock`
+	_ = time.Until(start.Add(time.Second)) // want `time.Until touches the real clock`
+	return time.Since(start)               // want `time.Since touches the real clock`
+}
+
+// schedules hits the clock-scheduling functions.
+func schedules() {
+	time.Sleep(time.Millisecond)     // want `time.Sleep touches the real clock`
+	<-time.After(time.Millisecond)   // want `time.After touches the real clock`
+	t := time.NewTicker(time.Second) // want `time.NewTicker touches the real clock`
+	t.Stop()
+}
+
+// pureValues shows the allowed, clock-free part of package time.
+func pureValues(d time.Duration) (string, time.Time) {
+	return d.Round(time.Millisecond).String(), time.Unix(0, d.Nanoseconds())
+}
+
+// shimmed goes through the sanctioned shim.
+func shimmed() time.Duration {
+	return walltime.Since(walltime.Now())
+}
+
+// justified carries the directive.
+func justified() time.Time {
+	return time.Now() //gammavet:wallclock this fixture models the shim itself
+}

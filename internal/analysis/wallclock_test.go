@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestWallClockSeededViolations(t *testing.T) {
+	RunTest(t, "testdata/wallclock", WallClock)
+}
+
+// TestWallClockCleanRepoWide is the live gate over the packages that
+// historically read the clock, plus the shim whose directives sanction it.
+func TestWallClockCleanRepoWide(t *testing.T) {
+	assertClean(t, WallClock,
+		"cmd/gammabench", "internal/walltime", "internal/core", "internal/experiments")
+}

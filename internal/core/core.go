@@ -208,7 +208,7 @@ type Report struct {
 	// the successful attempt, to WastedWork on abandoned ones).
 	FailedOver     int
 	PhasesRedone   int
-	MirrorReads    int64
+	MirrorReads    cost.Pages
 	DetectionDelay time.Duration
 
 	// Trace is the execution's simulated-time timeline: one span per

@@ -226,7 +226,7 @@ func TestHPJALocalShortCircuitsEverything(t *testing.T) {
 			ratio = 1.0
 		}
 		rep := runJoin(t, f, alg, ratio, nil)
-		if rep.Net.TuplesRemote > rep.ResultCount {
+		if rep.Net.TuplesRemote.Count() > rep.ResultCount {
 			t.Errorf("%v HPJA local: %d remote tuples exceed the %d result tuples",
 				alg, rep.Net.TuplesRemote, rep.ResultCount)
 		}
@@ -250,7 +250,7 @@ func TestSimpleOverflowTurnsHPJAIntoNonHPJA(t *testing.T) {
 	if rep.ROverflowed == 0 {
 		t.Fatal("Simple at ratio 0.5 should overflow")
 	}
-	if rep.Net.TuplesRemote <= rep.ResultCount {
+	if rep.Net.TuplesRemote.Count() <= rep.ResultCount {
 		t.Fatalf("overflow levels should generate remote traffic: %d remote, %d results",
 			rep.Net.TuplesRemote, rep.ResultCount)
 	}

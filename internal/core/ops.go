@@ -129,7 +129,7 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 				}
 				out := *t
 				if s.Project != nil {
-					a.AddCPU(int64(len(s.Project)) * rc.m.WriteTuple / tuple.NumInts)
+					a.AddCPU(cost.ScaleNs(len(s.Project), rc.m.WriteTuple).Div(tuple.NumInts))
 					out = projectTuple(t, s.Project)
 				}
 				mu.Lock()

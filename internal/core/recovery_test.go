@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gammajoin/internal/cost"
 	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/tuple"
@@ -193,8 +194,8 @@ func TestMirrorLostEscalatesToRestart(t *testing.T) {
 // (Acct.Elapsed is the max resource), so on a CPU-bound workload the
 // response time may hide it — but the arm time, never.
 func TestMirroredWritesCostDiskTime(t *testing.T) {
-	diskTime := func(rep *Report) int64 {
-		var total int64
+	diskTime := func(rep *Report) cost.SimNs {
+		var total cost.SimNs
 		for _, ph := range rep.Phases {
 			for _, a := range ph.PerSite {
 				total += a.Disk

@@ -192,8 +192,8 @@ func (rc *runCtx) report() *Report {
 	// (per-phase queryable); the snapshot diff keeps a restarted query's
 	// report scoped to the successful attempt.
 	forming := netsim.Counters{
-		TuplesLocal:  rc.mFormLocal.Value() - rc.formLocalStart,
-		TuplesRemote: rc.mFormRemote.Value() - rc.formRemoteStart,
+		TuplesLocal:  cost.Tuples(rc.mFormLocal.Value() - rc.formLocalStart),
+		TuplesRemote: cost.Tuples(rc.mFormRemote.Value() - rc.formRemoteStart),
 	}
 	r := &Report{
 		Alg:               rc.spec.Alg,
@@ -247,11 +247,11 @@ func (rc *runCtx) report() *Report {
 	if resp > 0 {
 		var dSum, dn, lSum, ln float64
 		for _, site := range rc.c.DiskSites() {
-			dSum += float64(totals[site].CPU)
+			dSum += float64(totals[site].CPU.Nanoseconds())
 			dn++
 		}
 		for _, site := range rc.c.DisklessSites() {
-			lSum += float64(totals[site].CPU)
+			lSum += float64(totals[site].CPU.Nanoseconds())
 			ln++
 		}
 		if dn > 0 {
@@ -261,13 +261,13 @@ func (rc *runCtx) report() *Report {
 			r.UtilDiskless = lSum / ln / resp
 		}
 	}
-	var maxBusy int64
+	var maxBusy cost.SimNs
 	for _, t := range totals { //gammavet:ordered max fold is order-independent
 		if b := t.Busy(); b > maxBusy {
 			maxBusy = b
 		}
 	}
-	r.BottleneckBusy = time.Duration(maxBusy)
+	r.BottleneckBusy = maxBusy.Dur()
 	return r
 }
 
@@ -343,7 +343,7 @@ func (rc *runCtx) scanPred(a *cost.Acct, p pred.Pred, t *tuple.Tuple) bool {
 	if p == nil {
 		return true
 	}
-	a.AddCPU(int64(p.Nodes()) * rc.m.PredEval)
+	a.AddCPU(cost.ScaleNs(p.Nodes(), rc.m.PredEval))
 	return p.Eval(t)
 }
 
@@ -621,7 +621,7 @@ func (rc *runCtx) failover(sf *SiteFailure) bool {
 	// Both rungs pay detection: the scheduler only learns of the death at
 	// the next heartbeat-grid declaration instant. The delay lands on the
 	// query clock (and the timeline) as a scheduler-only pseudo-phase.
-	delay := time.Duration(c.Net.DetectionDelay(sf.Site, rc.tr.Now()))
+	delay := c.Net.DetectionDelay(sf.Site, rc.tr.Now()).Dur()
 	rc.q.AddDetection(fmt.Sprintf("detect site %d failure", sf.Site), delay)
 	rc.detectionDelay += delay
 	rc.tr.Instant(sf.Site, "detect", fmt.Sprintf("declared dead after %v", delay))

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gammajoin/internal/cost"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/trace"
 	"gammajoin/internal/tuple"
@@ -108,7 +109,7 @@ func TestTraceVirtualClockMatchesResponse(t *testing.T) {
 		c := gamma.NewLocal(8, nil)
 		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
 		rep := runJoin(t, f, alg, 0.25, nil)
-		if got, want := rep.Trace.Now(), int64(rep.Response); got != want {
+		if got, want := rep.Trace.Now(), cost.DurNs(rep.Response); got != want {
 			t.Errorf("%v: trace clock %d ns, response %d ns", alg, got, want)
 		}
 		for _, sp := range rep.Trace.Spans() {
@@ -169,10 +170,10 @@ func TestFormingMetricsPerPhase(t *testing.T) {
 		}
 		return s
 	}
-	if got := sumDeltas("form.tuples.local"); got != rep.Forming.TuplesLocal {
+	if got := sumDeltas("form.tuples.local"); got != rep.Forming.TuplesLocal.Count() {
 		t.Errorf("form.tuples.local deltas sum %d, report says %d", got, rep.Forming.TuplesLocal)
 	}
-	if got := sumDeltas("form.tuples.remote"); got != rep.Forming.TuplesRemote {
+	if got := sumDeltas("form.tuples.remote"); got != rep.Forming.TuplesRemote.Count() {
 		t.Errorf("form.tuples.remote deltas sum %d, report says %d", got, rep.Forming.TuplesRemote)
 	}
 

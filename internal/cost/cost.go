@@ -34,14 +34,14 @@ type Params struct {
 
 	// SeqPageMs is the time to transfer one page sequentially (read-ahead
 	// hides most seek activity during sequential scans).
-	SeqPageMs float64
+	SeqPageMs SimMs
 	// RandPageMs is the time for a random page access (seek + rotational
 	// latency + transfer).
-	RandPageMs float64
+	RandPageMs SimMs
 	// FileSwitchMs is the short-seek penalty charged when consecutive
 	// accesses on one disk touch different files (e.g. round-robin writes
 	// into many bucket files).
-	FileSwitchMs float64
+	FileSwitchMs SimMs
 
 	// Per-tuple CPU costs, in instructions.
 	ReadTupleInstr   int64 // fetch next tuple from a page during a scan
@@ -82,7 +82,7 @@ type Params struct {
 	// HeartbeatMs is the failure-detection heartbeat period: every site is
 	// expected to report to the scheduler once per period, so a dead site
 	// is only *suspected* at the next heartbeat boundary after it stops.
-	HeartbeatMs float64
+	HeartbeatMs SimMs
 	// HeartbeatMisses is how many consecutive missed heartbeats the
 	// scheduler tolerates before declaring a site dead (guards against
 	// declaring a merely-slow site failed).
@@ -129,45 +129,44 @@ func DefaultParams() Params {
 	}
 }
 
-// Model holds precomputed per-operation costs in nanoseconds.
+// Model holds precomputed per-operation costs in simulated nanoseconds.
 type Model struct {
 	P Params
 
-	ReadTuple   int64
-	WriteTuple  int64
-	Hash        int64
-	Insert      int64
-	Probe       int64
-	Chain       int64
-	Result      int64
-	FilterBit   int64
-	SortCompare int64
-	SortMove    int64
-	Histogram   int64
-	PredEval    int64
-	AggUpdate   int64
+	ReadTuple   SimNs
+	WriteTuple  SimNs
+	Hash        SimNs
+	Insert      SimNs
+	Probe       SimNs
+	Chain       SimNs
+	Result      SimNs
+	FilterBit   SimNs
+	SortCompare SimNs
+	SortMove    SimNs
+	Histogram   SimNs
+	PredEval    SimNs
+	AggUpdate   SimNs
 
-	PacketProto      int64 // per packet, each end, remote
-	PacketProtoLocal int64 // per packet, each end, short-circuited
-	PacketWire       int64 // per packet on the ring
-	ControlMsg       int64
-	PhaseStartup     int64
+	PacketProto      SimNs // per packet, each end, remote
+	PacketProtoLocal SimNs // per packet, each end, short-circuited
+	PacketWire       SimNs // per packet on the ring
+	ControlMsg       SimNs
+	PhaseStartup     SimNs
 
-	SeqPage    int64
-	RandPage   int64
-	FileSwitch int64
+	SeqPage    SimNs
+	RandPage   SimNs
+	FileSwitch SimNs
 
-	Heartbeat       int64 // failure-detection heartbeat period, ns
+	Heartbeat       SimNs // failure-detection heartbeat period
 	HeartbeatMisses int   // missed heartbeats tolerated before declaring death
 }
 
 // NewModel precomputes nanosecond costs from params.
 func NewModel(p Params) *Model {
-	instr := func(n int64) int64 {
+	instr := func(n int64) SimNs {
 		// 1 instruction = 1000/MIPS nanoseconds.
-		return int64(float64(n) * 1000.0 / p.MIPS)
+		return SimNs(float64(n) * 1000.0 / p.MIPS)
 	}
-	ms := func(x float64) int64 { return int64(x * 1e6) }
 	return &Model{
 		P:           p,
 		ReadTuple:   instr(p.ReadTupleInstr),
@@ -186,15 +185,15 @@ func NewModel(p Params) *Model {
 
 		PacketProto:      instr(p.PacketProtoInstr),
 		PacketProtoLocal: instr(p.PacketProtoLocalInstr),
-		PacketWire:       int64(float64(p.PacketBytes) / (p.NetMBps * 1e6) * 1e9),
+		PacketWire:       SimNs(float64(p.PacketBytes) / (p.NetMBps * 1e6) * 1e9),
 		ControlMsg:       instr(p.ControlMsgInstr),
-		PhaseStartup:     p.PhaseStartup.Nanoseconds(),
+		PhaseStartup:     DurNs(p.PhaseStartup),
 
-		SeqPage:    ms(p.SeqPageMs),
-		RandPage:   ms(p.RandPageMs),
-		FileSwitch: ms(p.FileSwitchMs),
+		SeqPage:    p.SeqPageMs.Ns(),
+		RandPage:   p.RandPageMs.Ns(),
+		FileSwitch: p.FileSwitchMs.Ns(),
 
-		Heartbeat:       ms(p.HeartbeatMs),
+		Heartbeat:       p.HeartbeatMs.Ns(),
 		HeartbeatMisses: p.HeartbeatMisses,
 	}
 }
@@ -206,9 +205,9 @@ func Default() *Model { return NewModel(DefaultParams()) }
 // phase. It is not safe for concurrent use; each worker goroutine owns its
 // own Acct and the phase merges them when it ends.
 type Acct struct {
-	CPU  int64 // nanoseconds of processor time
-	Disk int64 // nanoseconds of disk-arm time
-	Net  int64 // nanoseconds of network-interface time
+	CPU  SimNs // simulated processor time
+	Disk SimNs // simulated disk-arm time
+	Net  SimNs // simulated network-interface time
 
 	// Events are annotations (fault retries, retransmissions, memory
 	// pressure) recorded by Note. They never charge time; internal/trace
@@ -221,7 +220,7 @@ type Acct struct {
 type Ev struct {
 	Kind   string // dotted event name, e.g. "disk.retry"
 	Detail int64  // event-specific payload (file id, evicted tuples, ...)
-	At     int64  // offset into the account's elapsed time, in ns
+	At     SimNs  // offset into the account's elapsed time
 }
 
 // Note records an event at the account's current elapsed offset. Notes are
@@ -231,14 +230,14 @@ func (a *Acct) Note(kind string, detail int64) {
 	a.Events = append(a.Events, Ev{Kind: kind, Detail: detail, At: a.Elapsed()})
 }
 
-// AddCPU charges ns nanoseconds of CPU time.
-func (a *Acct) AddCPU(ns int64) { a.CPU += ns }
+// AddCPU charges simulated CPU time.
+func (a *Acct) AddCPU(ns SimNs) { a.CPU += ns }
 
-// AddDisk charges ns nanoseconds of disk time.
-func (a *Acct) AddDisk(ns int64) { a.Disk += ns }
+// AddDisk charges simulated disk time.
+func (a *Acct) AddDisk(ns SimNs) { a.Disk += ns }
 
-// AddNet charges ns nanoseconds of network-interface time.
-func (a *Acct) AddNet(ns int64) { a.Net += ns }
+// AddNet charges simulated network-interface time.
+func (a *Acct) AddNet(ns SimNs) { a.Net += ns }
 
 // Merge adds another account into a, carrying b's events along.
 func (a *Acct) Merge(b Acct) {
@@ -251,7 +250,7 @@ func (a *Acct) Merge(b Acct) {
 // Elapsed is the wall time this account represents assuming perfect overlap
 // of CPU, disk (read-ahead / write-behind) and network DMA: the maximum of
 // the three resource times.
-func (a Acct) Elapsed() int64 {
+func (a Acct) Elapsed() SimNs {
 	e := a.CPU
 	if a.Disk > e {
 		e = a.Disk
@@ -291,15 +290,15 @@ func (m *Model) TuplesPerPage(tupleBytes int) int {
 // spills (k-1)/k of both relations through exactly this pass (Section 3.4),
 // so a shrunken memory grant is worth taking only when this cost is below
 // the expected queueing delay for a full grant.
-func (m *Model) RepartitionPassNs(bytes int64, tupleBytes int) int64 {
+func (m *Model) RepartitionPassNs(bytes Bytes, tupleBytes int) SimNs {
 	if bytes <= 0 {
 		return 0
 	}
 	pageB := int64(m.P.PageBytes)
-	pages := (bytes + pageB - 1) / pageB
-	tuples := bytes / int64(tupleBytes)
-	cpu := tuples * (m.Hash + m.WriteTuple + m.ReadTuple)
-	io := pages * 2 * m.SeqPage // write the pass out, read it back
+	pages := Pages((int64(bytes) + pageB - 1) / pageB)
+	tuples := Tuples(int64(bytes) / int64(tupleBytes))
+	cpu := ScaleNs(tuples, m.Hash+m.WriteTuple+m.ReadTuple)
+	io := ScaleNs(pages, 2*m.SeqPage) // write the pass out, read it back
 	return cpu + io
 }
 

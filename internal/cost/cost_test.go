@@ -19,7 +19,7 @@ func TestInstrConversion(t *testing.T) {
 func TestPacketWire(t *testing.T) {
 	m := Default()
 	// 2048 bytes at 10 MB/s = 204.8 microseconds.
-	want := int64(204800)
+	want := SimNs(204800)
 	if m.PacketWire != want {
 		t.Fatalf("PacketWire = %d, want %d", m.PacketWire, want)
 	}
@@ -27,7 +27,7 @@ func TestPacketWire(t *testing.T) {
 
 func TestDiskCosts(t *testing.T) {
 	m := Default()
-	if m.SeqPage != 5*int64(time.Millisecond) {
+	if m.SeqPage != 5*SimNs(time.Millisecond) {
 		t.Fatalf("SeqPage = %d", m.SeqPage)
 	}
 	if m.RandPage <= m.SeqPage {
@@ -70,7 +70,7 @@ func TestAcctAdders(t *testing.T) {
 
 func TestElapsedProperty(t *testing.T) {
 	f := func(cpu, disk, net uint32) bool {
-		a := Acct{CPU: int64(cpu), Disk: int64(disk), Net: int64(net)}
+		a := Acct{CPU: SimNs(cpu), Disk: SimNs(disk), Net: SimNs(net)}
 		e := a.Elapsed()
 		return e >= a.CPU && e >= a.Disk && e >= a.Net &&
 			(e == a.CPU || e == a.Disk || e == a.Net)

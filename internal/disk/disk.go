@@ -166,25 +166,26 @@ func (d *Disk) WritePage(a *cost.Acct, fileID int64) {
 	}
 }
 
-// Counters is a snapshot of a disk's activity.
+// Counters is a snapshot of a disk's activity. Page traffic is typed
+// (cost.Pages); retry and arm-switch tallies are bare event counts.
 type Counters struct {
-	PagesRead    int64
-	PagesWritten int64
+	PagesRead    cost.Pages
+	PagesWritten cost.Pages
 	ReadRetries  int64
 	FileSwitches int64
-	MirrorReads  int64
-	MirrorWrites int64
+	MirrorReads  cost.Pages
+	MirrorWrites cost.Pages
 }
 
 // Counters returns a snapshot of the disk's counters.
 func (d *Disk) Counters() Counters {
 	return Counters{
-		PagesRead:    d.pagesRead.Load(),
-		PagesWritten: d.pagesWritten.Load(),
+		PagesRead:    cost.Pages(d.pagesRead.Load()),
+		PagesWritten: cost.Pages(d.pagesWritten.Load()),
 		ReadRetries:  d.readRetries.Load(),
 		FileSwitches: d.switches.Load(),
-		MirrorReads:  d.mirrorReads.Load(),
-		MirrorWrites: d.mirrorWrites.Load(),
+		MirrorReads:  cost.Pages(d.mirrorReads.Load()),
+		MirrorWrites: cost.Pages(d.mirrorWrites.Load()),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
 	"gammajoin/internal/mva"
 	"gammajoin/internal/tuple"
 )
@@ -286,7 +287,7 @@ func (h *Harness) ExtGrowingRelations() (*Result, error) {
 // service demands in seconds for the MVA model: each site contributes a CPU
 // center, a disk center, and a network-interface center.
 func demandCenters(rep *core.Report) []float64 {
-	type acc struct{ cpu, dsk, net int64 }
+	type acc struct{ cpu, dsk, net cost.SimNs }
 	sites := map[int]*acc{}
 	for _, p := range rep.Phases {
 		for site, a := range p.PerSite {
@@ -301,9 +302,9 @@ func demandCenters(rep *core.Report) []float64 {
 		}
 	}
 	var out []float64
-	add := func(ns int64) {
+	add := func(ns cost.SimNs) {
 		if ns > 0 {
-			out = append(out, float64(ns)/1e9)
+			out = append(out, ns.Seconds())
 		}
 	}
 	for _, s := range sites {

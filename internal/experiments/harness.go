@@ -110,7 +110,7 @@ type RecoveryStats struct {
 	PhasesRedone   int           // phases re-executed after a failover
 	WastedWork     time.Duration // simulated time discarded by restarts and redo
 	DetectionDelay time.Duration // heartbeat time spent declaring sites dead
-	MirrorReads    int64         // pages read from backup fragments
+	MirrorReads    cost.Pages    // pages read from backup fragments
 }
 
 // Harness caches workloads and run reports for the experiment suite.

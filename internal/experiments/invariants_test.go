@@ -115,7 +115,7 @@ func TestInvariantHPJAZeroRemoteRedistribution(t *testing.T) {
 		var remoteTuples int64
 		for _, ph := range rep.Phases {
 			if resultPhase(ph.Name) {
-				remoteTuples += ph.Net.TuplesRemote
+				remoteTuples += ph.Net.TuplesRemote.Count()
 				continue
 			}
 			if ph.Net.PacketsRemote != 0 || ph.Net.TuplesRemote != 0 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/sched"
 	"gammajoin/internal/tuple"
@@ -156,7 +157,7 @@ func (h *Harness) GenWorkloadQueries(wc WorkloadConfig) []*sched.Query {
 	return sched.GenWorkload(sched.WorkloadSpec{
 		N:               wc.Queries,
 		Seed:            wc.ArrivalSeed,
-		MeanGapNs:       wc.MeanGap.Nanoseconds(),
+		MeanGapNs:       cost.DurNs(wc.MeanGap),
 		InnerBytes:      int64(h.cfg.InnerN) * tuple.Bytes,
 		OuterBytes:      int64(h.cfg.OuterN) * tuple.Bytes,
 		SmallInnerBytes: int64(h.cfg.InnerN/2) * tuple.Bytes,
@@ -215,10 +216,10 @@ func (h *Harness) MPLSweep() (*Result, error) {
 				pol.String(),
 				fmt.Sprint(mpl),
 				fmt.Sprintf("%.3f", r.ThroughputQPS),
-				fmt.Sprintf("%.2f", float64(r.P50Ns)/1e9),
-				fmt.Sprintf("%.2f", float64(r.P95Ns)/1e9),
-				fmt.Sprintf("%.2f", float64(r.P99Ns)/1e9),
-				fmt.Sprintf("%.2f", float64(r.MeanWaitNs)/1e9),
+				fmt.Sprintf("%.2f", r.P50Ns.Seconds()),
+				fmt.Sprintf("%.2f", r.P95Ns.Seconds()),
+				fmt.Sprintf("%.2f", r.P99Ns.Seconds()),
+				fmt.Sprintf("%.2f", r.MeanWaitNs.Seconds()),
 				fmt.Sprintf("%.3f", ratioSum/float64(len(r.Queries))),
 				fmt.Sprintf("%.0f%%", poolPeakPct(r)),
 			})

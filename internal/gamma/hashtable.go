@@ -179,7 +179,7 @@ func (ht *HashTable) clearTenPercent(a *cost.Acct) []tuple.Tuple {
 	ht.overflows++
 
 	// Examine every tuple in the table and evict qualifying ones.
-	a.AddCPU(int64(len(ht.entries)) * ht.model.Chain)
+	a.AddCPU(cost.ScaleNs(len(ht.entries), ht.model.Chain))
 	kept := ht.entries[:0]
 	var evicted []tuple.Tuple
 	for _, e := range ht.entries {

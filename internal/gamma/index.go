@@ -76,7 +76,7 @@ func (ix *Index) LookupRange(c *Cluster, site int, a *cost.Acct, lo, hi int32,
 	for n := bt.Len(); n > 1; n /= 64 {
 		depth++
 	}
-	a.AddCPU(depth * c.Model.SortCompare)
+	a.AddCPU(cost.ScaleNs(depth, c.Model.SortCompare))
 
 	lastPage := int32(-1)
 	bt.Range(lo, hi, func(key int32, rid wiss.RecordID) bool {

@@ -65,7 +65,7 @@ func (q *Query) AddDetection(name string, delay time.Duration) {
 	q.Phases = append(q.Phases, PhaseStat{Name: name, Sched: delay})
 	if tr := q.Trace; tr.Enabled() {
 		tr.BeginPhase(name)
-		tr.EndPhase(0, delay.Nanoseconds())
+		tr.EndPhase(0, cost.DurNs(delay))
 	}
 }
 
@@ -129,7 +129,7 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 	defer p.mu.Unlock()
 
 	perSite := make(map[int]cost.Acct, len(p.accts))
-	var work int64
+	var work cost.SimNs
 	for site, list := range p.accts {
 		var merged cost.Acct
 		for _, a := range list {
@@ -158,17 +158,17 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 	// Scheduling: fixed scheduler latency, three control messages per
 	// participating process (initiate, ready, done), and split-table
 	// delivery packets to each producer, all serialized at the scheduler.
-	sched := m.PhaseStartup + int64(len(p.accts))*3*m.ControlMsg
+	sched := m.PhaseStartup + cost.ScaleNs(len(p.accts)*3, m.ControlMsg)
 	if opts.SplitEntries > 0 && opts.Producers > 0 {
 		pkts := m.SplitTablePackets(opts.SplitEntries)
-		sched += int64(pkts*opts.Producers) * (m.PacketProto + m.PacketWire)
+		sched += cost.ScaleNs(pkts*opts.Producers, m.PacketProto+m.PacketWire)
 	}
-	sched += opts.ExtraSched.Nanoseconds()
+	sched += cost.DurNs(opts.ExtraSched)
 
 	stat := PhaseStat{
 		Name:    p.name,
-		Work:    time.Duration(work),
-		Sched:   time.Duration(sched),
+		Work:    work.Dur(),
+		Sched:   sched.Dur(),
 		PerSite: perSite,
 		Net:     p.q.C.Net.Counters().Sub(p.netStart),
 	}
@@ -180,20 +180,20 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 		// gauges read the same counters the PhaseStat snapshots — tracing
 		// observes the cost model, it never feeds back into it.
 		mm := tr.Metrics()
-		mm.Gauge("net.tuples.local").Set(stat.Net.TuplesLocal)
-		mm.Gauge("net.tuples.remote").Set(stat.Net.TuplesRemote)
+		mm.Gauge("net.tuples.local").Set(stat.Net.TuplesLocal.Count())
+		mm.Gauge("net.tuples.remote").Set(stat.Net.TuplesRemote.Count())
 		mm.Gauge("net.packets.local").Set(stat.Net.PacketsLocal)
 		mm.Gauge("net.packets.remote").Set(stat.Net.PacketsRemote)
-		mm.Gauge("net.bytes.wire").Set(stat.Net.BytesOnWire)
+		mm.Gauge("net.bytes.wire").Set(stat.Net.BytesOnWire.Count())
 		mm.Gauge("net.packets.retransmitted").Set(stat.Net.PacketsRetransmitted)
 		mm.Gauge("net.packets.duplicated").Set(stat.Net.PacketsDuplicated)
 		dd := p.q.C.DiskCounters().Sub(p.diskStart)
-		mm.Gauge("disk.pages.read").Set(dd.PagesRead)
-		mm.Gauge("disk.pages.written").Set(dd.PagesWritten)
+		mm.Gauge("disk.pages.read").Set(dd.PagesRead.Count())
+		mm.Gauge("disk.pages.written").Set(dd.PagesWritten.Count())
 		mm.Gauge("disk.read.retries").Set(dd.ReadRetries)
 		mm.Gauge("disk.file.switches").Set(dd.FileSwitches)
-		mm.Gauge("disk.mirror.reads").Set(dd.MirrorReads)
-		mm.Gauge("disk.mirror.writes").Set(dd.MirrorWrites)
+		mm.Gauge("disk.mirror.reads").Set(dd.MirrorReads.Count())
+		mm.Gauge("disk.mirror.writes").Set(dd.MirrorWrites.Count())
 		tr.EndPhase(work, sched)
 	}
 	return stat.Elapsed()

@@ -9,7 +9,7 @@ import (
 
 // detectModel builds a model with a heartbeat of hbMs ms and the given miss
 // tolerance.
-func detectModel(hbMs float64, misses int) *cost.Model {
+func detectModel(hbMs cost.SimMs, misses int) *cost.Model {
 	p := cost.DefaultParams()
 	p.HeartbeatMs = hbMs
 	p.HeartbeatMisses = misses
@@ -21,8 +21,8 @@ func TestDetectionDelayLandsOnHeartbeatGrid(t *testing.T) {
 	n := New(m)
 	hb := m.Heartbeat
 	cases := []struct {
-		at   int64
-		want int64
+		at   cost.SimNs
+		want cost.SimNs
 	}{
 		// Crash exactly on a beat: the next 2 beats are missed, declared at
 		// the second boundary after the crash.
@@ -59,7 +59,7 @@ func TestDetectionDelayJitterAddsOneBeat(t *testing.T) {
 	base := New(m)
 	jit := New(m)
 	jit.SetFaults(fault.NewRegistry(fault.Spec{Seed: 1, DetectJitterRate: 1}))
-	at := int64(m.Heartbeat / 3)
+	at := m.Heartbeat / 3
 	d0, d1 := base.DetectionDelay(5, at), jit.DetectionDelay(5, at)
 	if d1 != d0+m.Heartbeat {
 		t.Fatalf("certain jitter added %d ns, want one full beat (%d)", d1-d0, m.Heartbeat)

@@ -14,13 +14,14 @@ import (
 	"gammajoin/internal/tuple"
 )
 
-// Counters is a snapshot of network activity.
+// Counters is a snapshot of network activity. Tuple and wire-byte traffic
+// is typed (cost.Tuples, cost.Bytes); packet tallies are bare event counts.
 type Counters struct {
 	PacketsLocal  int64
 	PacketsRemote int64
-	TuplesLocal   int64
-	TuplesRemote  int64
-	BytesOnWire   int64
+	TuplesLocal   cost.Tuples
+	TuplesRemote  cost.Tuples
+	BytesOnWire   cost.Bytes
 
 	// Fault accounting: remote packets re-sent after an injected drop, and
 	// spurious duplicate copies delivered (and discarded by the receiver).
@@ -49,7 +50,7 @@ func (c Counters) LocalFraction() float64 {
 	if total == 0 {
 		return 0
 	}
-	return float64(c.TuplesLocal) / float64(total)
+	return float64(c.TuplesLocal.Count()) / float64(total.Count())
 }
 
 // Network carries packets between sites and accounts for them.
@@ -83,13 +84,14 @@ func New(m *cost.Model) *Network { return &Network{model: m} }
 // Model.HeartbeatMisses missed beats, and the fault registry may charge
 // extra confirmation beats (DetectJitterRate) — so the declaration lands on
 // a deterministic grid instant strictly after the crash.
-func (n *Network) DetectionDelay(site int, at int64) int64 {
+func (n *Network) DetectionDelay(site int, at cost.SimNs) cost.SimNs {
 	hb := n.model.Heartbeat
 	if hb <= 0 {
 		return 0
 	}
 	beats := int64(n.model.HeartbeatMisses + n.faults.DetectExtraBeats(site))
-	declaredAt := (at/hb + beats) * hb
+	grid := at.Nanoseconds() / hb.Nanoseconds() // whole heartbeat periods elapsed
+	declaredAt := cost.ScaleNs(grid+beats, hb)
 	if declaredAt <= at {
 		declaredAt += hb
 	}
@@ -101,9 +103,9 @@ func (n *Network) Counters() Counters {
 	return Counters{
 		PacketsLocal:  n.packetsLocal.Load(),
 		PacketsRemote: n.packetsRemote.Load(),
-		TuplesLocal:   n.tuplesLocal.Load(),
-		TuplesRemote:  n.tuplesRemote.Load(),
-		BytesOnWire:   n.bytesOnWire.Load(),
+		TuplesLocal:   cost.Tuples(n.tuplesLocal.Load()),
+		TuplesRemote:  cost.Tuples(n.tuplesRemote.Load()),
+		BytesOnWire:   cost.Bytes(n.bytesOnWire.Load()),
 
 		PacketsRetransmitted: n.packetsRetransmitted.Load(),
 		PacketsDuplicated:    n.packetsDuplicated.Load(),
@@ -271,7 +273,7 @@ func (s *Sender) flush(k streamKey, b *Batch) {
 		}
 		if dups > 0 {
 			b.Dups = dups
-			s.a.AddNet(int64(dups) * m.PacketWire)
+			s.a.AddNet(cost.ScaleNs(dups, m.PacketWire))
 			s.net.packetsDuplicated.Add(int64(dups))
 			s.net.bytesOnWire.Add(int64(dups) * int64(m.P.PacketBytes))
 			s.a.Note("net.duplicate", int64(dups))

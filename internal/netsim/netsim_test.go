@@ -187,7 +187,7 @@ func TestConservationProperty(t *testing.T) {
 			}
 		}
 		c := net.Counters()
-		return seqOK && c.TuplesLocal+c.TuplesRemote == int64(n)
+		return seqOK && c.TuplesLocal+c.TuplesRemote == cost.Tuples(n)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

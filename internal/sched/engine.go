@@ -35,7 +35,7 @@ type Config struct {
 type Engine struct {
 	cfg Config
 
-	now     int64
+	now     cost.SimNs
 	running []*runq // admission order
 	peakMPL int
 	// sitePeak tracks the lease high-water mark per site: how many
@@ -56,9 +56,9 @@ const (
 // kept as a sorted slice so the event loop never iterates a map.
 type phaseSched struct {
 	name  string
-	sched int64
+	sched cost.SimNs
 	sites []int
-	rem   map[int]int64
+	rem   map[int]cost.SimNs
 }
 
 // runq is one admitted query on the simulated timeline.
@@ -66,24 +66,24 @@ type runq struct {
 	q       *Query
 	rep     *core.Report
 	grant   int64
-	admitNs int64
+	admitNs cost.SimNs
 
 	phases   []*phaseSched
 	pi       int
 	st       runStage
-	schedRem int64
+	schedRem cost.SimNs
 	done     bool
-	finishNs int64
+	finishNs cost.SimNs
 }
 
 // newRunq builds the interleavable schedule from the query's report.
-func newRunq(q *Query, rep *core.Report, grant, admitNs int64) *runq {
+func newRunq(q *Query, rep *core.Report, grant int64, admitNs cost.SimNs) *runq {
 	r := &runq{q: q, rep: rep, grant: grant, admitNs: admitNs}
 	for _, ps := range rep.Phases {
 		ph := &phaseSched{
 			name:  ps.Name,
-			sched: ps.Sched.Nanoseconds(),
-			rem:   make(map[int]int64, len(ps.PerSite)),
+			sched: cost.DurNs(ps.Sched),
+			rem:   make(map[int]cost.SimNs, len(ps.PerSite)),
 		}
 		for site, a := range ps.PerSite {
 			if e := a.Elapsed(); e > 0 {
@@ -136,11 +136,11 @@ func (r *runq) workDone() bool {
 // remainingNominal is the query's remaining schedule at load 1 — the time it
 // would still take running alone. The Shrink policy projects grant-release
 // times from it.
-func (r *runq) remainingNominal() int64 {
+func (r *runq) remainingNominal() cost.SimNs {
 	if r.done {
 		return 0
 	}
-	var t int64
+	var t cost.SimNs
 	if r.st == stageSched {
 		t += r.schedRem
 	}
@@ -149,7 +149,7 @@ func (r *runq) remainingNominal() int64 {
 		if i > r.pi {
 			t += ph.sched
 		}
-		var maxRem int64
+		var maxRem cost.SimNs
 		for _, site := range ph.sites {
 			if ph.rem[site] > maxRem {
 				maxRem = ph.rem[site]
@@ -237,7 +237,7 @@ func (e *Engine) decide(q *Query) (int64, bool) {
 			// one: (k-1)/k of both relations detours through disk buckets
 			// (Section 3.4). Pay that only if the full grant is further
 			// away than the pass costs.
-			spill := (q.DemandBytes + q.OuterBytes) * (k - 1) / k
+			spill := cost.Bytes((q.DemandBytes + q.OuterBytes) * (k - 1) / k)
 			extra := e.cfg.Model.RepartitionPassNs(spill, tuple.Bytes)
 			if extra <= e.projectedWait(demand) {
 				return g, true
@@ -253,9 +253,9 @@ func (e *Engine) decide(q *Query) (int64, bool) {
 // projectedWait estimates how long until `demand` bytes are free, assuming
 // each running query releases its grant after its remaining nominal
 // schedule. It walks releases in nominal-completion order.
-func (e *Engine) projectedWait(demand int64) int64 {
+func (e *Engine) projectedWait(demand int64) cost.SimNs {
 	type rel struct {
-		at    int64
+		at    cost.SimNs
 		grant int64
 	}
 	rels := make([]rel, 0, len(e.running))
@@ -271,7 +271,7 @@ func (e *Engine) projectedWait(demand int64) int64 {
 		}
 	}
 	// Unreachable when demand is clamped to the pool; treat as "forever".
-	return int64(^uint64(0) >> 1)
+	return cost.SimNs(int64(^uint64(0) >> 1))
 }
 
 // Run executes the workload to completion and returns its result. queries
@@ -387,7 +387,7 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 		// (c) the next arrival. Candidate (b) is rem*load: at rate 1/load
 		// that takes the remainder exactly to zero, so integer floor
 		// division still guarantees progress every iteration.
-		const inf = int64(^uint64(0) >> 1)
+		const inf = cost.SimNs(int64(^uint64(0) >> 1))
 		dt := inf
 		if next < len(queries) {
 			if gap := queries[next].ArriveNs - e.now; gap < dt {
@@ -407,7 +407,7 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 				if rem <= 0 {
 					continue
 				}
-				if c := rem * int64(loads[site]); c < dt {
+				if c := cost.ScaleNs(loads[site], rem); c < dt {
 					dt = c
 				}
 			}
@@ -437,7 +437,7 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 				if rem <= 0 {
 					continue
 				}
-				dec := dt / int64(loads[site])
+				dec := dt.Div(int64(loads[site]))
 				if dec >= rem {
 					ph.rem[site] = 0
 				} else {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
 )
 
 // QueryResult is one query's fate through the workload.
@@ -18,9 +19,9 @@ type QueryResult struct {
 	Filter bool
 	Small  bool
 
-	ArriveNs int64 // simulated arrival
-	AdmitNs  int64 // admission (grant handed out, execution planned)
-	FinishNs int64 // last phase drained on the shared timeline
+	ArriveNs cost.SimNs // simulated arrival
+	AdmitNs  cost.SimNs // admission (grant handed out, execution planned)
+	FinishNs cost.SimNs // last phase drained on the shared timeline
 
 	DemandBytes int64
 	GrantBytes  int64
@@ -32,9 +33,9 @@ type QueryResult struct {
 	// NominalNs is the query's stand-alone response time (its report's
 	// response at the granted memory); ResponseNs = FinishNs-ArriveNs is
 	// what the workload delivered, queueing and interference included.
-	NominalNs  int64
-	ResponseNs int64
-	WaitNs     int64 // AdmitNs - ArriveNs
+	NominalNs  cost.SimNs
+	ResponseNs cost.SimNs
+	WaitNs     cost.SimNs // AdmitNs - ArriveNs
 
 	ResultCount int64
 	ResultSum   uint64
@@ -48,7 +49,7 @@ func (q *QueryResult) Stretch() float64 {
 	if q.NominalNs <= 0 {
 		return 1
 	}
-	return float64(q.ResponseNs) / float64(q.NominalNs)
+	return float64(q.ResponseNs.Nanoseconds()) / float64(q.NominalNs.Nanoseconds())
 }
 
 // Result is the workload engine's report.
@@ -61,13 +62,13 @@ type Result struct {
 
 	Queries []QueryResult // arrival order
 
-	MakespanNs int64 // last finish on the simulated clock
+	MakespanNs cost.SimNs // last finish on the simulated clock
 	// ThroughputQPS is completed queries per simulated second of makespan.
 	ThroughputQPS float64
 
 	// Response-time percentiles (nearest-rank) over FinishNs-ArriveNs.
-	P50Ns, P95Ns, P99Ns int64
-	MeanWaitNs          int64
+	P50Ns, P95Ns, P99Ns cost.SimNs
+	MeanWaitNs          cost.SimNs
 
 	PeakMPL int // most queries concurrently resident
 
@@ -86,7 +87,7 @@ func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
 		PeakMPL:   e.peakMPL,
 		SitePeak:  e.sitePeak,
 	}
-	var waitSum int64
+	var waitSum cost.SimNs
 	for _, q := range queries {
 		r := admitted[q.ID]
 		qr := QueryResult{
@@ -100,7 +101,7 @@ func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
 			FinishNs:    r.finishNs,
 			DemandBytes: q.DemandBytes,
 			GrantBytes:  r.grant,
-			NominalNs:   r.rep.Response.Nanoseconds(),
+			NominalNs:   cost.DurNs(r.rep.Response),
 			ResponseNs:  r.finishNs - q.ArriveNs,
 			WaitNs:      r.admitNs - q.ArriveNs,
 			ResultCount: r.rep.ResultCount,
@@ -117,11 +118,11 @@ func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
 		res.Queries = append(res.Queries, qr)
 	}
 	if n := len(queries); n > 0 {
-		res.MeanWaitNs = waitSum / int64(n)
+		res.MeanWaitNs = waitSum.Div(int64(n))
 		if res.MakespanNs > 0 {
-			res.ThroughputQPS = float64(n) / (float64(res.MakespanNs) / 1e9)
+			res.ThroughputQPS = float64(n) / res.MakespanNs.Seconds()
 		}
-		resp := make([]int64, 0, n)
+		resp := make([]cost.SimNs, 0, n)
 		for _, qr := range res.Queries {
 			resp = append(resp, qr.ResponseNs)
 		}
@@ -134,7 +135,7 @@ func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
 }
 
 // percentile is the nearest-rank percentile of a sorted slice.
-func percentile(sorted []int64, p int) int64 {
+func percentile(sorted []cost.SimNs, p int) cost.SimNs {
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -148,7 +149,7 @@ func percentile(sorted []int64, p int) int64 {
 	return sorted[idx-1]
 }
 
-func ms(ns int64) float64 { return float64(ns) / 1e6 }
+func ms(ns cost.SimNs) float64 { return ns.Millis() }
 
 // WriteText renders the workload report as a fixed-layout text table. All
 // values derive from simulated time and integer counters, so two identical
@@ -169,7 +170,7 @@ func (r *Result) WriteText(w io.Writer) error {
 			q.ResultCount, q.ResultSum)
 	}
 	fmt.Fprintf(bw, "makespan %.3f sim-s, throughput %.3f q/s\n",
-		float64(r.MakespanNs)/1e9, r.ThroughputQPS)
+		r.MakespanNs.Seconds(), r.ThroughputQPS)
 	fmt.Fprintf(bw, "response p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; mean admission wait %.1f ms\n",
 		ms(r.P50Ns), ms(r.P95Ns), ms(r.P99Ns), ms(r.MeanWaitNs))
 	fmt.Fprintf(bw, "pool peak %.1f%% of %.1f MB; peak concurrency %d; site leases:",
@@ -201,4 +202,4 @@ func mplLabel(mpl int) string {
 }
 
 // Makespan returns the makespan as a Duration.
-func (r *Result) Makespan() time.Duration { return time.Duration(r.MakespanNs) }
+func (r *Result) Makespan() time.Duration { return r.MakespanNs.Dur() }

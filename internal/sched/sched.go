@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
 	"gammajoin/internal/xrand"
 )
 
@@ -101,7 +102,7 @@ type Query struct {
 	Small  bool // half-sized relations ("small" queries in the mix)
 
 	// ArriveNs is the query's arrival on the simulated clock.
-	ArriveNs int64
+	ArriveNs cost.SimNs
 	// DemandBytes is the full memory demand: the inner relation's size,
 	// i.e. the grant that yields memory ratio 1.0.
 	DemandBytes int64
@@ -117,7 +118,7 @@ type WorkloadSpec struct {
 
 	// MeanGapNs is the mean inter-arrival gap in simulated nanoseconds;
 	// gaps are drawn uniformly from [MeanGapNs/2, 3*MeanGapNs/2).
-	MeanGapNs int64
+	MeanGapNs cost.SimNs
 
 	// Relation sizes for demand accounting. Small queries use the Small*
 	// sizes (defaulting to half the full sizes when zero).
@@ -148,10 +149,10 @@ func GenWorkload(ws WorkloadSpec) []*Query {
 		smallOuter = ws.OuterBytes / 2
 	}
 	src := xrand.New(ws.Seed)
-	var t int64
+	var t cost.SimNs
 	out := make([]*Query, 0, ws.N)
 	for i := 0; i < ws.N; i++ {
-		t += gap/2 + int64(src.Uint64()%uint64(gap))
+		t += gap/2 + cost.Ns(int64(src.Uint64()%uint64(gap.Nanoseconds())))
 		q := &Query{
 			ID:       i + 1,
 			ArriveNs: t,

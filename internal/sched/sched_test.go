@@ -20,7 +20,7 @@ func synthExec(schedNs, workNs int64, phases int) Exec {
 		var total int64
 		for i := 0; i < phases; i++ {
 			var a cost.Acct
-			a.AddCPU(workNs)
+			a.AddCPU(cost.Ns(workNs))
 			rep.Phases = append(rep.Phases, gamma.PhaseStat{
 				Name:    "synthetic",
 				Work:    time.Duration(workNs),
@@ -175,12 +175,12 @@ func TestShrinkTradeoff(t *testing.T) {
 	m := cost.Default()
 	// q1 holds 60KB of the 100KB pool; q2 (demand 80KB, outer 160KB) sees
 	// 40KB free, which fits only at k=2 (grant demand/2 = 40KB).
-	mk := func(q1WorkNs int64) *Result {
+	mk := func(q1Work cost.SimNs) *Result {
 		pool := gamma.NewMemPool(100 << 10)
 		exec := func(q *Query, grant int64) (*core.Report, error) {
 			work := int64(1000)
 			if q.ID == 1 {
-				work = q1WorkNs
+				work = q1Work.Nanoseconds()
 			}
 			return synthExec(0, work, 1)(q, grant)
 		}
@@ -189,7 +189,7 @@ func TestShrinkTradeoff(t *testing.T) {
 			{ID: 2, ArriveNs: 10, DemandBytes: 80 << 10, OuterBytes: 160 << 10},
 		})
 	}
-	spill := int64((80<<10)+(160<<10)) / 2
+	spill := cost.Bytes((80<<10)+(160<<10)) / 2
 	passCost := m.RepartitionPassNs(spill, tuple.Bytes)
 	if passCost <= 0 {
 		t.Fatal("pass cost should be positive for a 120KB spill")
@@ -263,17 +263,17 @@ func TestEngineReportDeterminism(t *testing.T) {
 }
 
 func TestPercentileNearestRank(t *testing.T) {
-	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	sorted := []cost.SimNs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	cases := []struct {
 		p    int
-		want int64
+		want cost.SimNs
 	}{{50, 50}, {95, 100}, {99, 100}, {100, 100}}
 	for _, c := range cases {
 		if got := percentile(sorted, c.p); got != c.want {
 			t.Errorf("p%d = %d, want %d", c.p, got, c.want)
 		}
 	}
-	if got := percentile([]int64{7}, 99); got != 7 {
+	if got := percentile([]cost.SimNs{7}, 99); got != 7 {
 		t.Errorf("single element p99 = %d, want 7", got)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"gammajoin/internal/cost"
 )
 
 // Exporters. All of them emit in the canonical span order (see Spans), so
@@ -30,7 +32,10 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-func usec(ns int64) float64 { return float64(ns) / 1e3 }
+func usec(ns cost.SimNs) float64 { return ns.Micros() }
+
+// usecAt converts the bare-ns metric-sample timestamps.
+func usecAt(ns int64) float64 { return float64(ns) / 1e3 }
 
 // WriteChrome emits the trace in Chrome trace_event JSON, loadable in
 // Perfetto or chrome://tracing. One thread (track) per site, named after
@@ -120,7 +125,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	for _, smp := range r.Metrics().Samples() {
 		for _, kv := range smp.Values {
 			evs = append(evs, chromeEvent{
-				Name: kv.Name, Ph: "C", Pid: qid, Ts: usec(smp.At),
+				Name: kv.Name, Ph: "C", Pid: qid, Ts: usecAt(smp.At),
 				Args: map[string]any{"value": kv.V},
 			})
 		}
@@ -207,7 +212,7 @@ func (r *Recorder) WriteFolded(w io.Writer) error {
 		return fmt.Errorf("trace: recorder disabled")
 	}
 	labels := r.SiteLabels()
-	agg := make(map[string]int64)
+	agg := make(map[string]cost.SimNs)
 	for _, s := range r.Spans() {
 		if s.Site < 0 || s.CPU == 0 {
 			continue

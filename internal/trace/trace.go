@@ -39,23 +39,23 @@ type Span struct {
 	Role      string // launch role: produce, consume, write, solo, sched
 	Bucket    int    // bucket/partition number, -1 when not applicable
 
-	Start int64 // simulated ns (phase virtual start)
-	Dur   int64 // overlapped elapsed ns
+	Start cost.SimNs // phase virtual start
+	Dur   cost.SimNs // overlapped elapsed time
 
-	CPU, Disk, Net int64 // resource breakdown from the cost model
+	CPU, Disk, Net cost.SimNs // resource breakdown from the cost model
 
 	Events []Event // fault events at absolute simulated time
 }
 
 // End returns the span's simulated end time.
-func (s *Span) End() int64 { return s.Start + s.Dur }
+func (s *Span) End() cost.SimNs { return s.Start + s.Dur }
 
 // Event is a point annotation on the timeline: a span-attached fault event
 // or a recorder-level instant (crash, restart).
 type Event struct {
-	Kind   string // e.g. "disk.retry", "net.retransmit", "crash"
-	Detail int64  // numeric payload (file id, packet count, ...)
-	At     int64  // absolute simulated ns
+	Kind   string     // e.g. "disk.retry", "net.retransmit", "crash"
+	Detail int64      // numeric payload (file id, packet count, ...)
+	At     cost.SimNs // absolute simulated time
 }
 
 // Instant is a recorder-level point event on a site's track (site crashes,
@@ -66,16 +66,16 @@ type Instant struct {
 	Site    int
 	Kind    string
 	Detail  string
-	At      int64 // absolute simulated ns
+	At      cost.SimNs // absolute simulated time
 }
 
 // Totals is a per-site resource sum over spans.
 type Totals struct {
-	CPU, Disk, Net int64
+	CPU, Disk, Net cost.SimNs
 }
 
 // Busy is the summed resource time (the bottleneck metric's numerator).
-func (t Totals) Busy() int64 { return t.CPU + t.Disk + t.Net }
+func (t Totals) Busy() cost.SimNs { return t.CPU + t.Disk + t.Net }
 
 // Recorder collects spans, instants, and metrics for one query execution.
 // Start may be called from any number of worker goroutines; clock methods
@@ -87,9 +87,9 @@ type Recorder struct {
 	queryID int // workload query id; 0 for standalone runs
 
 	mu        sync.Mutex
-	now       int64 // virtual clock, simulated ns
-	attempt   int   // current attempt, -1 before NewAttempt
-	phase     int   // per-attempt phase ordinal, -1 between attempts
+	now       cost.SimNs // virtual clock
+	attempt   int        // current attempt, -1 before NewAttempt
+	phase     int        // per-attempt phase ordinal, -1 between attempts
 	phaseName string
 	spans     []*Span
 	instants  []Instant
@@ -149,7 +149,7 @@ func (r *Recorder) Metrics() *Metrics {
 }
 
 // Now returns the virtual clock in simulated nanoseconds.
-func (r *Recorder) Now() int64 {
+func (r *Recorder) Now() cost.SimNs {
 	if r == nil {
 		return 0
 	}
@@ -199,7 +199,7 @@ func (r *Recorder) BeginPhase(name string) {
 // the phase's scheduling overhead, samples the metrics registry, and
 // advances the virtual clock by work+sched — the phase's contribution to
 // response time.
-func (r *Recorder) EndPhase(work, sched int64) {
+func (r *Recorder) EndPhase(work, sched cost.SimNs) {
 	if r == nil {
 		return
 	}
@@ -218,7 +218,7 @@ func (r *Recorder) EndPhase(work, sched int64) {
 		CPU:       sched,
 	})
 	r.now += work + sched
-	r.metrics.sample(r.attempt, r.phase, r.phaseName, r.now)
+	r.metrics.sample(r.attempt, r.phase, r.phaseName, r.now.Nanoseconds())
 }
 
 // Start opens a span for one operator goroutine at site. bucket is the

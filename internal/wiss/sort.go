@@ -124,8 +124,8 @@ func sortChunk(a *cost.Acct, m *cost.Model, ts []tuple.Tuple, attr int) {
 			return ts[i].Ints[attr] < ts[j].Ints[attr]
 		})
 		lg := int64(bits.Len(uint(n - 1)))
-		a.AddCPU(int64(n) * lg * m.SortCompare)
-		a.AddCPU(int64(n) * m.SortMove)
+		a.AddCPU(cost.ScaleNs(int64(n)*lg, m.SortCompare))
+		a.AddCPU(cost.ScaleNs(n, m.SortMove))
 	}
 }
 
@@ -168,7 +168,7 @@ func mergeRuns(a *cost.Acct, m *cost.Model, runs []*File, out *File, attr int) {
 	lg := int64(bits.Len(uint(max(len(runs)-1, 1))))
 	for h.Len() > 0 {
 		it := h.items[0]
-		a.AddCPU(lg*m.SortCompare + m.SortMove)
+		a.AddCPU(cost.ScaleNs(lg, m.SortCompare) + m.SortMove)
 		out.Append(a, it.t)
 		if t, ok := cursors[it.src].Next(); ok {
 			h.items[0] = mergeItem{t: t, src: it.src}

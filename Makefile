@@ -1,7 +1,7 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail clean
+.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail degrade clean
 
 all: build vet test
 
@@ -131,6 +131,23 @@ avail:
 	fi
 	@echo "avail gate: OK"
 
+# degrade is the degradation-curve gate: static vs dynamic Hybrid across the
+# mis-estimation sweep (-est-error 0.25..4) with memory pressure and budget
+# swings active (docs/FAULTS.md, "Dynamic Hybrid under budget swings"), twice
+# under the race detector with byte-identical output required — and the
+# dynamic join's p95 over the sweep must beat the static one's.
+DEGRADE_FLAGS = -exp degrade -outer 20000 -inner 2000 \
+	-fault-seed 77 -fault-mem-pressure 0.5 -fault-swing 0.5
+degrade:
+	$(GO) run -race ./cmd/gammabench $(DEGRADE_FLAGS) > /tmp/gammajoin-degrade-1.txt
+	$(GO) run -race ./cmd/gammabench $(DEGRADE_FLAGS) > /tmp/gammajoin-degrade-2.txt
+	cmp /tmp/gammajoin-degrade-1.txt /tmp/gammajoin-degrade-2.txt
+	@p95=$$(grep "^note: p95 over sweep:" /tmp/gammajoin-degrade-1.txt); \
+	echo "degrade: $${p95#note: }"; \
+	echo "$$p95" | awk '{ st=$$6+0; dyn=$$8+0; exit !(dyn < st) }' \
+		|| { echo "degrade gate: dynamic p95 does not beat static"; exit 1; }
+	@echo "degrade gate: OK"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
@@ -141,3 +158,4 @@ clean:
 	rm -rf /tmp/gammajoin-mpl-1 /tmp/gammajoin-mpl-2
 	rm -f /tmp/gammajoin-mpl-1.txt /tmp/gammajoin-mpl-2.txt
 	rm -f /tmp/gammajoin-mplsweep-1.txt /tmp/gammajoin-mplsweep-2.txt
+	rm -f /tmp/gammajoin-degrade-1.txt /tmp/gammajoin-degrade-2.txt

@@ -17,6 +17,7 @@ import (
 	"gammajoin/internal/core"
 	"gammajoin/internal/cost"
 	"gammajoin/internal/experiments"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/pred"
 	"gammajoin/internal/tuple"
@@ -107,6 +108,39 @@ func BenchmarkJoin(b *testing.B) {
 			b.ReportMetric(sim, "sim-sec")
 		})
 	}
+}
+
+// BenchmarkDynHybrid runs the adaptive Hybrid at half memory with a 4x
+// inner-size over-estimate under the degrade fault schedule (memory
+// pressure seeding the build short, budget swings revoking and re-granting
+// mid-build). Besides the response it reports the adaptation ledger —
+// spills, resurrections, revoked pages — which is deterministic, so
+// benchcheck pins it exactly like every other simulated metric. The
+// cluster and fixture are rebuilt per iteration so every run consumes the
+// fault schedule from the same starting coordinates.
+func BenchmarkDynHybrid(b *testing.B) {
+	var sim, spills, resurrections, revoked float64
+	for i := 0; i < b.N; i++ {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(fault.Spec{Seed: 77, MemPressureRate: 0.5, BudgetSwingRate: 0.5})
+		r, s := benchFixture(b, c)
+		rep, err := core.Run(c, core.Spec{
+			Alg: core.HybridDyn, R: r, S: s,
+			RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+			MemRatio: 0.5, EstErrorFactor: 4, StoreResult: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = rep.Response.Seconds()
+		spills = float64(rep.SpillCount)
+		resurrections = float64(rep.Resurrections)
+		revoked = float64(rep.RevokedPages.Count())
+	}
+	b.ReportMetric(sim, "sim-sec")
+	b.ReportMetric(spills, "spills")
+	b.ReportMetric(resurrections, "resurrections")
+	b.ReportMetric(revoked, "revoked-pages")
 }
 
 // BenchmarkAblationBucketAnalyzer compares Hybrid on the Appendix-A

@@ -48,8 +48,9 @@ func main() {
 		timings = flag.Bool("t", false, "print wall-clock time per experiment")
 		plot    = flag.Bool("plot", false, "also render figure results as ASCII charts")
 
-		alg        = flag.String("alg", "", "run one joinABprime join with this algorithm (sort-merge|simple|grace|hybrid) instead of -exp")
+		alg        = flag.String("alg", "", "run one joinABprime join with this algorithm (sort-merge|simple|grace|hybrid|hybrid-dyn) instead of -exp")
 		ratio      = flag.Float64("ratio", 0.5, "memory ratio for the -alg run")
+		estError   = flag.Float64("est-error", 0, "corrupt the optimizer's inner-size estimate by this factor (0 or 1 = exact; see docs/SCHEDULER.md, Dynamic Hybrid)")
 		traceOut   = flag.String("trace", "", "with -alg: write the run's Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "with -alg: write the run's per-phase metrics TSV to this file")
 		traceDir   = flag.String("trace-dir", "", "export every experiment run's trace JSON + metrics TSV into this directory")
@@ -58,14 +59,16 @@ func main() {
 		faultDisk  = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
 		faultNet   = flag.Float64("fault-net", 0, "network packet drop probability per remote packet")
 		faultDup   = flag.Float64("fault-dup", 0, "network packet duplication probability per remote packet")
-		faultMem   = flag.Float64("fault-mem", 0, "per-phase probability of a memory-budget change at the join sites")
-		faultCrash = flag.Float64("fault-crash", 0, "per-phase per-site crash probability (recovered by failover or query restart)")
+		faultMem      = flag.Float64("fault-mem", 0, "per-phase probability of a memory-budget change at the join sites")
+		faultMemAlias = flag.Float64("fault-mem-pressure", 0, "alias for -fault-mem")
+		faultSwing    = flag.Float64("fault-swing", 0, "per-batch probability of a budget swing (downward revoke or upward re-grant) during a dynamic-Hybrid build")
+		faultCrash    = flag.Float64("fault-crash", 0, "per-phase per-site crash probability (recovered by failover or query restart)")
 
 		mirror        = flag.Bool("mirror", false, "chained-declustered mirrors: back each disk site's fragments up on its ring neighbor so a single crash fails over instead of restarting")
 		detectTimeout = flag.Float64("detect-timeout", 0, "failure-detection heartbeat period in simulated ms (0 keeps the cost model's default period and miss count)")
 
 		mpl         = flag.Int("mpl", 0, "run a multi-query workload at this multiprogramming level instead of -exp/-alg (see docs/SCHEDULER.md)")
-		policy      = flag.String("policy", "fifo", "with -mpl: admission policy (fifo|fair|shrink)")
+		policy      = flag.String("policy", "fifo", "with -mpl: admission policy (fifo|fair|shrink|revoke)")
 		queries     = flag.Int("queries", 8, "with -mpl: number of workload queries")
 		arrivalSeed = flag.Uint64("arrival-seed", 0, "with -mpl: arrival-schedule seed (default: the workload seed)")
 		gapMs       = flag.Float64("gap", 2000, "with -mpl: mean inter-arrival gap in simulated ms")
@@ -100,16 +103,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gammabench: -inner must not exceed -outer")
 		os.Exit(2)
 	}
-	if *faultDisk > 0 || *faultNet > 0 || *faultDup > 0 || *faultMem > 0 || *faultCrash > 0 {
+	if *faultMemAlias > *faultMem {
+		*faultMem = *faultMemAlias
+	}
+	if *faultDisk > 0 || *faultNet > 0 || *faultDup > 0 || *faultMem > 0 || *faultSwing > 0 || *faultCrash > 0 {
 		cfg.Faults = &fault.Spec{
 			Seed:            *faultSeed,
 			DiskReadRate:    *faultDisk,
 			NetDropRate:     *faultNet,
 			NetDupRate:      *faultDup,
 			MemPressureRate: *faultMem,
+			BudgetSwingRate: *faultSwing,
 			CrashRate:       *faultCrash,
 		}
 	}
+	cfg.EstError = *estError
 
 	cfg.Mirror = *mirror
 	if *detectTimeout > 0 {
@@ -131,8 +139,11 @@ func main() {
 	}
 	fmt.Printf(", seed %d\n", cfg.Seed)
 	if f := cfg.Faults; f != nil {
-		fmt.Printf("faults: seed %d disk %.3g drop %.3g dup %.3g mem %.3g crash %.3g\n",
-			f.Seed, f.DiskReadRate, f.NetDropRate, f.NetDupRate, f.MemPressureRate, f.CrashRate)
+		fmt.Printf("faults: seed %d disk %.3g drop %.3g dup %.3g mem %.3g swing %.3g crash %.3g\n",
+			f.Seed, f.DiskReadRate, f.NetDropRate, f.NetDupRate, f.MemPressureRate, f.BudgetSwingRate, f.CrashRate)
+	}
+	if cfg.EstError > 0 && cfg.EstError != 1 {
+		fmt.Printf("optimizer: inner-size estimate corrupted by factor %.4g\n", cfg.EstError)
 	}
 	if cfg.Mirror {
 		fmt.Println("mirrors: chained declustering on (each disk site backed up by its ring neighbor)")
@@ -214,8 +225,10 @@ func parseAlg(name string) (core.Algorithm, error) {
 		return core.Grace, nil
 	case "hybrid":
 		return core.Hybrid, nil
+	case "hybrid-dyn", "hybriddyn", "dynamic":
+		return core.HybridDyn, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want sort-merge, simple, grace, or hybrid)", name)
+		return 0, fmt.Errorf("unknown algorithm %q (want sort-merge, simple, grace, hybrid, or hybrid-dyn)", name)
 	}
 }
 

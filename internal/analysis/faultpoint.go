@@ -37,6 +37,7 @@ var faultOwners = map[string]string{
 	"ReadRetries":      "internal/disk",
 	"PacketFate":       "internal/netsim",
 	"MemFactor":        "internal/core",
+	"BudgetSwing":      "internal/core",
 	"CrashSiteAt":      "internal/core",
 	"DetectExtraBeats": "internal/netsim",
 }

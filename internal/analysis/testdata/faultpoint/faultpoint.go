@@ -22,6 +22,11 @@ func stolenMemFault(r *fault.Registry) float64 {
 	return r.MemFactor(0) // want `fault.Registry.MemFactor consumed outside internal/core`
 }
 
+// stolenSwing rolls the budget-swing schedule outside internal/core.
+func stolenSwing(r *fault.Registry) float64 {
+	return r.BudgetSwing(0, 1) // want `fault.Registry.BudgetSwing consumed outside internal/core`
+}
+
 // stolenCrash polls the crash schedule outside internal/core.
 func stolenCrash(r *fault.Registry) bool {
 	_, ok := r.CrashSiteAt(0, []int{0}) // want `fault.Registry.CrashSiteAt consumed outside internal/core`

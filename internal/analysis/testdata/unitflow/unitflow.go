@@ -29,6 +29,18 @@ func bareToMs(x float64) cost.SimMs {
 	return cost.SimMs(x) // want `cost.SimMs built by conversion from a bare expression`
 }
 
+// revokePriced launders a revocation's byte count straight into simulated
+// time — the shape an adaptation cost site must route through the model's
+// converting helpers (RepartitionPassNs, ScaleNs) instead.
+func revokePriced(b cost.Bytes) cost.SimNs {
+	return cost.SimNs(b) // want `converting cost.Bytes to cost.SimNs launders the unit`
+}
+
+// revokedToBare discards the byte unit of a revoked grant.
+func revokedToBare(b cost.Bytes) int64 {
+	return int64(b) // want `converting cost.Bytes to int64 discards the unit`
+}
+
 // nsToBare discards the unit on the way out.
 func nsToBare(ns cost.SimNs) int64 {
 	return int64(ns) // want `converting cost.SimNs to int64 discards the unit`

@@ -46,6 +46,12 @@ const (
 	// Hybrid is Grace with the first bucket kept in memory and joined on
 	// the fly while the remaining buckets are formed (Section 3.4).
 	Hybrid
+	// HybridDyn is the dynamic, robustness-oriented Hybrid variant: every
+	// partition starts resident and is spilled (whole, largest-first) or
+	// resurrected lazily as the observed build size and the memory budget
+	// reveal themselves, instead of committing to a precomputed resident
+	// fraction (arXiv 2112.02480; docs/SCHEDULER.md "Dynamic Hybrid").
+	HybridDyn
 )
 
 func (a Algorithm) String() string {
@@ -58,6 +64,8 @@ func (a Algorithm) String() string {
 		return "grace"
 	case Hybrid:
 		return "hybrid"
+	case HybridDyn:
+		return "hybrid-dyn"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -108,6 +116,14 @@ type Spec struct {
 	// after RPred's selection (Gamma's optimizer estimates selectivities
 	// from catalog statistics); 0 means the full relation size.
 	InnerSizeHint int64
+
+	// EstErrorFactor deliberately corrupts the optimizer's inner-size
+	// estimate by the given multiplier before the bucket/partition choice
+	// (2 = the optimizer believes the inner is twice its true size, 0.25 =
+	// a quarter). It models cardinality mis-estimation: static Hybrid
+	// commits its bucket count to the wrong estimate, dynamic Hybrid only
+	// uses it to seed the partition count. 0 or 1 means exact estimates.
+	EstErrorFactor float64
 
 	// ForceBuckets overrides the optimizer's bucket count for Grace and
 	// Hybrid (before the bucket analyzer runs).
@@ -163,6 +179,15 @@ type Report struct {
 
 	FilterBitsPerSite int
 	FilterDropped     int64 // outer tuples eliminated by bit filters
+
+	// Dynamic-Hybrid adaptation accounting. SpillCount is how many whole
+	// partitions were demoted to disk mid-build; Resurrections how many
+	// spilled partitions were brought back before probing; RevokedPages
+	// the budget capacity (in pages) taken away by mid-build revocations
+	// (mem.revoke events), cumulative across swings.
+	SpillCount    int64
+	Resurrections int64
+	RevokedPages  cost.Pages
 
 	Net  netsim.Counters // network activity for the whole join
 	Disk disk.Counters   // disk activity for the whole join
@@ -293,6 +318,8 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 			err = rc.runGrace()
 		case Hybrid:
 			err = rc.runHybrid()
+		case HybridDyn:
+			err = rc.runHybridDyn()
 		default:
 			return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
 		}
@@ -378,7 +405,7 @@ func (rc *runCtx) optimizerBuckets(hybrid bool) int {
 		if rc.spec.InnerSizeHint > 0 {
 			innerBytes = rc.spec.InnerSizeHint
 		}
-		need := float64(innerBytes) / float64(rc.memTotal)
+		need := rc.estimatedInner(innerBytes) / float64(rc.memTotal)
 		n = int(math.Ceil(need - 1e-3))
 		if hybrid && rc.spec.AllowOverflow {
 			// Optimistic: one bucket fewer, absorbed by overflow.
@@ -392,4 +419,17 @@ func (rc *runCtx) optimizerBuckets(hybrid bool) int {
 		n = split.AnalyzeBuckets(hybrid, len(rc.diskSites), len(rc.joinSites), n)
 	}
 	return n
+}
+
+// estimatedInner is the optimizer's belief about the inner size in bytes:
+// the catalog value corrupted by the spec's mis-estimation factor. Every
+// plan-time sizing decision (bucket counts, partition counts) must go
+// through this, so static and dynamic Hybrid mis-plan from the same wrong
+// number and only their runtime behavior differs.
+func (rc *runCtx) estimatedInner(innerBytes int64) float64 {
+	est := float64(innerBytes)
+	if f := rc.spec.EstErrorFactor; f > 0 && f != 1 {
+		est *= f
+	}
+	return est
 }

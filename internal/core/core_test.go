@@ -65,7 +65,7 @@ func refJoinCount(r, s []tuple.Tuple, rAttr, sAttr int) int64 {
 	return n
 }
 
-var allAlgs = []Algorithm{SortMerge, Simple, Grace, Hybrid}
+var allAlgs = []Algorithm{SortMerge, Simple, Grace, Hybrid, HybridDyn}
 
 func TestAllAlgorithmsAgreeFullMemory(t *testing.T) {
 	c := gamma.NewLocal(8, nil)

@@ -21,6 +21,7 @@ func chaosSpec(seed uint64) fault.Spec {
 		MemPressureRate: 0.5,
 		MemShrinkFactor: 0.6,
 		MemGrowFactor:   1.4,
+		BudgetSwingRate: 0.3,
 		CrashRate:       0.2,
 		MaxCrashes:      1,
 	}

@@ -197,6 +197,22 @@ func (rc *runCtx) makeBucketFiles(name string, first, n int) ([]map[int]*wiss.Fi
 	return files, nil
 }
 
+// makePartitionFiles creates one temporary file per dynamic-Hybrid
+// partition, each at the partition's home disk site. Unlike bucket files,
+// a partition is not horizontally fragmented: spills are rare whole-table
+// demotions, so each partition lives on one disk.
+func (rc *runCtx) makePartitionFiles(name string, np int) (map[int]*wiss.File, error) {
+	files := make(map[int]*wiss.File, np)
+	for p := 0; p < np; p++ {
+		f, err := rc.newTempFile(fmt.Sprintf("%s.p%d", name, p), rc.dynHome(p, np))
+		if err != nil {
+			return nil, err
+		}
+		files[p] = f
+	}
+	return files, nil
+}
+
 // bucketSources lists the non-empty fragments of one bucket.
 func (rc *runCtx) bucketSources(files []map[int]*wiss.File, b int) []fileAt {
 	var src []fileAt

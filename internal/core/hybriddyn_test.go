@@ -1,0 +1,196 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gammajoin/internal/fault"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+	"gammajoin/internal/wisconsin"
+)
+
+// dynSpec is the fault schedule the dynamic-Hybrid tests run under: memory
+// pressure seeds the build below its nominal lease and budget swings revoke
+// and re-grant capacity mid-build, so the spill/resurrect machinery actually
+// exercises instead of idling.
+func dynSpec(seed uint64) fault.Spec {
+	return fault.Spec{
+		Seed:            seed,
+		MemPressureRate: 0.5,
+		BudgetSwingRate: 0.5,
+	}
+}
+
+// TestDynMatchesStaticResults: the adaptive spill/resurrect machinery must
+// be invisible in the answer. Across seeds, mis-estimation factors, and
+// swing schedules, dynamic Hybrid returns exactly the multiset static
+// Hybrid returns on the same fixture.
+func TestDynMatchesStaticResults(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 1989} {
+		for _, est := range []float64{0, 0.25, 4} {
+			run := func(alg Algorithm) *Report {
+				c := gamma.NewLocal(8, nil)
+				c.EnableFaults(dynSpec(seed))
+				f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+				return runJoin(t, f, alg, 0.5, func(sp *Spec) {
+					sp.CollectResults = true
+					sp.EstErrorFactor = est
+				})
+			}
+			st, dyn := run(Hybrid), run(HybridDyn)
+			if dyn.ResultCount != 400 || st.ResultCount != 400 {
+				t.Fatalf("seed %d est %g: counts dyn %d static %d, want 400",
+					seed, est, dyn.ResultCount, st.ResultCount)
+			}
+			if cs, cd := resultChecksum(st.Results), resultChecksum(dyn.Results); cs != cd {
+				t.Errorf("seed %d est %g: result multisets differ: static %016x dyn %016x",
+					seed, est, cs, cd)
+			}
+		}
+	}
+}
+
+// TestDynAdaptationAccounting: under pressure the spill machinery fires and
+// its ledger is consistent — a partition can only be resurrected after being
+// spilled, and pressure below the lease shows up as revoked pages. With
+// stable memory and room to spare, the dynamic join must not spill at all:
+// the whole point of deferring the decision.
+func TestDynAdaptationAccounting(t *testing.T) {
+	c := gamma.NewLocal(8, nil)
+	c.EnableFaults(dynSpec(7))
+	f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+	rep := runJoin(t, f, HybridDyn, 0.25, nil)
+	if rep.ResultCount != 400 {
+		t.Fatalf("result count %d, want 400", rep.ResultCount)
+	}
+	if rep.SpillCount == 0 {
+		t.Error("memory pressure + swings spilled no partitions")
+	}
+	if rep.Resurrections > rep.SpillCount {
+		t.Errorf("%d resurrections exceed %d spills", rep.Resurrections, rep.SpillCount)
+	}
+	if rep.RevokedPages == 0 {
+		t.Error("downward budget swings revoked no pages")
+	}
+
+	calm := gamma.NewLocal(8, nil)
+	cf := mkFixture(t, calm, 4000, gamma.HashPart, tuple.Unique1)
+	crep := runJoin(t, cf, HybridDyn, 1.0, nil)
+	if crep.SpillCount != 0 || crep.Resurrections != 0 || crep.RevokedPages != 0 {
+		t.Errorf("stable full-memory run adapted: %d spills, %d resurrections, %d revoked pages",
+			crep.SpillCount, crep.Resurrections, crep.RevokedPages)
+	}
+}
+
+// TestDynDeterministicUnderSwings: the full adaptation path — seeded
+// pressure, per-epoch swings, mis-estimation — is bit-identical across runs:
+// results, trace bytes, and the whole report.
+func TestDynDeterministicUnderSwings(t *testing.T) {
+	run := func() *Report {
+		c := gamma.NewLocal(8, nil)
+		c.EnableFaults(dynSpec(42))
+		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+		return runJoin(t, f, HybridDyn, 0.25, func(sp *Spec) {
+			sp.CollectResults = true
+			sp.EstErrorFactor = 4
+		})
+	}
+	a, b := run(), run()
+	if ca, cb := resultChecksum(a.Results), resultChecksum(b.Results); ca != cb {
+		t.Errorf("result checksums differ: %016x vs %016x", ca, cb)
+	}
+	if ja, jb := chromeJSON(t, a.Trace), chromeJSON(t, b.Trace); ja != jb {
+		t.Error("trace JSON differs between identical runs")
+	}
+	a.Results, b.Results = nil, nil
+	a.Trace, b.Trace = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reports differ:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+}
+
+// TestDynMisestimationDegradation is the golden degradation-curve bound at
+// the core level: across the mis-estimation sweep the dynamic join never
+// degrades more than a fixed epsilon past static Hybrid, and at a 4x
+// underestimate with the memory under pressure it must beat static outright
+// — the acceptance criterion of the adaptive design.
+func TestDynMisestimationDegradation(t *testing.T) {
+	const epsilon = 1.35
+	run := func(alg Algorithm, est float64, faulted bool) *Report {
+		c := gamma.NewLocal(8, nil)
+		if faulted {
+			c.EnableFaults(fault.Spec{Seed: 5, MemPressureRate: 0.5, BudgetSwingRate: 0.5})
+		}
+		f := mkFixture(t, c, 4000, gamma.HashPart, tuple.Unique1)
+		return runJoin(t, f, alg, 0.5, func(sp *Spec) { sp.EstErrorFactor = est })
+	}
+	for _, est := range []float64{0.25, 0.5, 1, 2, 4} {
+		st, dyn := run(Hybrid, est, false), run(HybridDyn, est, false)
+		if dyn.ResultCount != st.ResultCount {
+			t.Fatalf("est %g: counts differ: dyn %d static %d", est, dyn.ResultCount, st.ResultCount)
+		}
+		if float64(dyn.Response) > epsilon*float64(st.Response) {
+			t.Errorf("est %g: dynamic %v exceeds static %v by more than %.2fx",
+				est, dyn.Response, st.Response, epsilon)
+		}
+	}
+	st, dyn := run(Hybrid, 4, true), run(HybridDyn, 4, true)
+	if dyn.Response >= st.Response {
+		t.Errorf("4x underestimate under pressure: dynamic %v should beat static %v",
+			dyn.Response, st.Response)
+	}
+}
+
+// FuzzDynSpillResurrect drives the spill/resurrect state machine across
+// fuzzed seeds, sizes, budgets, and estimate corruptions: the join must
+// neither lose nor duplicate a single tuple — its cardinality always equals
+// the nested-loops reference, and its multiset always equals static
+// Hybrid's on the same inputs.
+func FuzzDynSpillResurrect(f *testing.F) {
+	f.Add(uint64(1), uint(800), 0.25, 1.0, 0.3)
+	f.Add(uint64(99), uint(2000), 0.5, 4.0, 0.7)
+	f.Add(uint64(7), uint(400), 0.125, 0.25, 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint, ratio, est, swing float64) {
+		n = 200 + n%4000
+		if ratio < 0.1 || ratio > 1 || est < 0 || est > 16 || swing < 0 || swing > 1 {
+			t.Skip()
+		}
+		run := func(alg Algorithm) *Report {
+			c := gamma.NewLocal(8, nil)
+			c.EnableFaults(fault.Spec{Seed: seed, MemPressureRate: swing, BudgetSwingRate: swing})
+			a := wisconsin.Generate(int(n), 100)
+			bprime := wisconsin.Bprime(a, int32(n/10))
+			s, err := gamma.Load(c, "A", a, gamma.HashPart, tuple.Unique1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := gamma.Load(c, "Bprime", bprime, gamma.HashPart, tuple.Unique1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(c, Spec{
+				Alg: alg, R: r, S: s,
+				RAttr: tuple.Unique1, SAttr: tuple.Unique1,
+				MemRatio:       ratio,
+				EstErrorFactor: est,
+				CollectResults: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		dyn := run(HybridDyn)
+		if want := int64(n / 10); dyn.ResultCount != want {
+			t.Fatalf("lost or duplicated tuples: count %d, want %d", dyn.ResultCount, want)
+		}
+		st := run(Hybrid)
+		if cs, cd := resultChecksum(st.Results), resultChecksum(dyn.Results); cs != cd {
+			t.Fatalf("result multisets diverge from static Hybrid: %016x vs %016x", cs, cd)
+		}
+		if dyn.Resurrections > dyn.SpillCount {
+			t.Fatalf("%d resurrections exceed %d spills", dyn.Resurrections, dyn.SpillCount)
+		}
+	})
+}

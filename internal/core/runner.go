@@ -25,6 +25,8 @@ const (
 	tagStore     = -2      // composite result tuples for the store operator
 	tagROverBase = 1 << 20 // + join site: inner-relation overflow file
 	tagSOverBase = 1 << 21 // + join site: outer-relation overflow file
+	tagDynRBase  = 1 << 22 // + partition: dynamic-Hybrid spilled inner partition
+	tagDynSBase  = 1 << 23 // + partition: dynamic-Hybrid spilled outer partition
 	// Bucket tags are the bucket number itself (0..buckets-1).
 )
 
@@ -63,6 +65,11 @@ type runCtx struct {
 	resultSum      atomic.Uint64 // wrapping sum of result checksums
 	filterDropped  atomic.Int64
 	overflowClears atomic.Int64
+
+	// dynamic-Hybrid adaptation stats, updated from build/resurrect workers
+	spillCount    atomic.Int64 // whole partitions demoted to disk
+	resurrections atomic.Int64 // spilled partitions brought back before probing
+	revokedBytes  atomic.Int64 // budget capacity taken away mid-build
 
 	overflowLevels int
 	buckets        int
@@ -209,6 +216,9 @@ func (rc *runCtx) report() *Report {
 		SOverflowed:       rc.mSOver.Value() - rc.sOverStart,
 		FilterBitsPerSite: rc.filterBits,
 		FilterDropped:     rc.filterDropped.Load(),
+		SpillCount:        rc.spillCount.Load(),
+		Resurrections:     rc.resurrections.Load(),
+		RevokedPages:      rc.bytesToPages(rc.revokedBytes.Load()),
 		Net:               rc.c.Net.Counters().Sub(rc.netStart),
 		Disk:              rc.c.DiskCounters().Sub(rc.diskStart),
 		Forming:           forming,
@@ -269,6 +279,15 @@ func (rc *runCtx) report() *Report {
 	}
 	r.BottleneckBusy = maxBusy.Dur()
 	return r
+}
+
+// bytesToPages rounds a byte count up to whole disk pages.
+func (rc *runCtx) bytesToPages(n int64) cost.Pages {
+	if n <= 0 {
+		return 0
+	}
+	pageB := int64(rc.m.P.PageBytes)
+	return cost.Pages((n + pageB - 1) / pageB)
 }
 
 // chainStat accumulates hash-chain statistics for one join site so they can

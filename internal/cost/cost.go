@@ -58,6 +58,14 @@ type Params struct {
 	PredEvalInstr    int64 // evaluate one compiled predicate node
 	AggUpdateInstr   int64 // fold one tuple into an aggregate
 
+	// Adaptation decision costs, in instructions, charged by the dynamic
+	// Hybrid join each time it picks a spill victim or a resurrection
+	// candidate (scan the partition directory, compare sizes, update the
+	// resident set). Decisions are cheap next to the data movement they
+	// trigger, but they are real work and must stay on the books.
+	SpillDecideInstr     int64
+	ResurrectDecideInstr int64
+
 	// Network protocol CPU, in instructions, charged per packet at each
 	// end. Local (short-circuited) packets skip the wire and most of the
 	// protocol stack but are not free (the paper stresses this).
@@ -115,6 +123,9 @@ func DefaultParams() Params {
 		PredEvalInstr:    60,
 		AggUpdateInstr:   80,
 
+		SpillDecideInstr:     300,
+		ResurrectDecideInstr: 300,
+
 		PacketProtoInstr:      10000,
 		PacketProtoLocalInstr: 2000,
 
@@ -146,6 +157,9 @@ type Model struct {
 	Histogram   SimNs
 	PredEval    SimNs
 	AggUpdate   SimNs
+
+	SpillDecide     SimNs // pick one spill victim (dynamic Hybrid)
+	ResurrectDecide SimNs // pick one resurrection candidate (dynamic Hybrid)
 
 	PacketProto      SimNs // per packet, each end, remote
 	PacketProtoLocal SimNs // per packet, each end, short-circuited
@@ -182,6 +196,9 @@ func NewModel(p Params) *Model {
 		Histogram:   instr(p.HistogramInstr),
 		PredEval:    instr(p.PredEvalInstr),
 		AggUpdate:   instr(p.AggUpdateInstr),
+
+		SpillDecide:     instr(p.SpillDecideInstr),
+		ResurrectDecide: instr(p.ResurrectDecideInstr),
 
 		PacketProto:      instr(p.PacketProtoInstr),
 		PacketProtoLocal: instr(p.PacketProtoLocalInstr),

@@ -46,6 +46,7 @@ var Catalog = []Entry{
 	{"ext-growing", one((*Harness).ExtGrowingRelations)},
 	{"ext-multiuser", one((*Harness).ExtMultiuser)},
 	{"mpl-sweep", one((*Harness).MPLSweep)},
+	{"degrade", one((*Harness).DegradationCurve)},
 }
 
 // Find returns the catalog entry with the given name.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/fault"
 )
 
 // testConfig is a scaled-down joinABprime (the shapes survive scaling; the
@@ -360,8 +361,38 @@ func TestAppendixA(t *testing.T) {
 	}
 }
 
+// The degradation curve: both series cover the sweep, and under memory
+// pressure with budget swings the dynamic join's worst case (p95 over the
+// sweep) stays below the static one — the experiment `make degrade` gates.
+func TestDegradationCurve(t *testing.T) {
+	// A notch above the usual test scale: the adaptive win is real data
+	// moving (spilled partitions re-read vs static's overflow resolution),
+	// so at toy sizes the fixed per-phase scheduler startups of the extra
+	// disk-join groups drown it. 20k x 2k is the smallest scale where the
+	// bench-scale shape (dynamic flat, static climbing) is stable.
+	cfg := testConfig()
+	cfg.OuterN = 20000
+	cfg.InnerN = 2000
+	cfg.Faults = &fault.Spec{Seed: 77, MemPressureRate: 0.5, BudgetSwingRate: 0.5}
+	h := NewHarness(cfg)
+	res, err := h.DegradationCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(res.Series))
+	}
+	static, dyn := res.Series[0], res.Series[1]
+	if len(static.Points) != len(EstErrorSweep) || len(dyn.Points) != len(EstErrorSweep) {
+		t.Fatalf("series lengths %d/%d, want %d", len(static.Points), len(dyn.Points), len(EstErrorSweep))
+	}
+	if sp, dp := seriesP95(static), seriesP95(dyn); dp >= sp {
+		t.Errorf("p95 over sweep: dynamic %.3fs should beat static %.3fs under pressure", dp, sp)
+	}
+}
+
 func TestCatalogAndFind(t *testing.T) {
-	if len(Catalog) != 24 {
+	if len(Catalog) != 25 {
 		t.Fatalf("catalog has %d entries", len(Catalog))
 	}
 	if _, err := Find("fig5"); err != nil {

@@ -50,6 +50,11 @@ type Config struct {
 	// trace_event, Perfetto-loadable) and <slug>.metrics.tsv (per-phase
 	// metric samples). See docs/OBSERVABILITY.md.
 	TraceDir string
+
+	// EstError is the default optimizer mis-estimation factor applied to
+	// every run whose RunKey does not set its own (the -est-error flag).
+	// 0 or 1 leaves estimates exact.
+	EstError float64
 }
 
 // DefaultConfig returns the paper's configuration: 100k x 10k tuples on 8
@@ -86,6 +91,12 @@ type RunKey struct {
 	BucketTuning  bool // KITS83 bucket tuning for Grace
 	Mixed         bool // join on a mix of disk and diskless processors
 	AselB         bool // joinAselB: full-size inner with a 10% selection
+
+	// EstError corrupts the optimizer's inner-size estimate by this
+	// factor (core.Spec.EstErrorFactor); 0 or 1 is an exact estimate.
+	// The degradation-curve experiment sweeps it to compare static and
+	// dynamic Hybrid under mis-estimation.
+	EstError float64
 }
 
 type relKey struct {
@@ -314,18 +325,22 @@ func (h *Harness) Run(k RunKey) (*core.Report, error) {
 		return nil, err
 	}
 	spec := core.Spec{
-		Alg:           k.Alg,
-		R:             rels.r,
-		S:             rels.s,
-		RAttr:         rels.rAttr,
-		SAttr:         rels.sAttr,
-		MemRatio:      k.Ratio,
-		BitFilter:     k.Filter,
-		FilterForming: k.FilterForming,
-		BucketTuning:  k.BucketTuning,
-		ForceBuckets:  k.ForceBuckets,
-		AllowOverflow: k.AllowOverflow,
-		StoreResult:   true,
+		Alg:            k.Alg,
+		R:              rels.r,
+		S:              rels.s,
+		RAttr:          rels.rAttr,
+		SAttr:          rels.sAttr,
+		MemRatio:       k.Ratio,
+		BitFilter:      k.Filter,
+		FilterForming:  k.FilterForming,
+		BucketTuning:   k.BucketTuning,
+		ForceBuckets:   k.ForceBuckets,
+		AllowOverflow:  k.AllowOverflow,
+		EstErrorFactor: k.EstError,
+		StoreResult:    true,
+	}
+	if spec.EstErrorFactor == 0 {
+		spec.EstErrorFactor = h.cfg.EstError
 	}
 	c := h.cluster(k.Remote)
 	if k.Mixed {

@@ -47,6 +47,9 @@ func (k RunKey) Slug() string {
 	if k.AselB {
 		b.WriteString("_aselb")
 	}
+	if k.EstError > 0 && k.EstError != 1 {
+		fmt.Fprintf(&b, "_est%.4g", k.EstError)
+	}
 	return b.String()
 }
 

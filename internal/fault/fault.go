@@ -35,6 +35,8 @@ const (
 	kindMemDir   = 0x4D45_0000_0000_0005
 	kindCrash    = 0xC4A5_0000_0000_0006
 	kindDetect   = 0xDE7E_0000_0000_0007
+	kindSwing    = 0x5319_0000_0000_0008
+	kindSwingDir = 0x5319_0000_0000_0009
 )
 
 // CrashPoint pins a single injected site crash to an exact phase ordinal
@@ -73,6 +75,17 @@ type Spec struct {
 	MemPressureRate float64
 	MemShrinkFactor float64
 	MemGrowFactor   float64
+
+	// BudgetSwingRate is the per-epoch probability that the join-memory
+	// budget swings mid-build — the stress input for dynamic Hybrid's
+	// revoke/re-grant path. Unlike MemPressureRate's one-shot per-phase
+	// roll, swings are rolled once per batch epoch within a phase, so a
+	// single build can shrink, recover, and shrink again. When a swing
+	// fires, a second roll picks downward (BudgetSwingShrink, default 0.7)
+	// or upward (BudgetSwingGrow, default 1.4) with equal probability.
+	BudgetSwingRate   float64
+	BudgetSwingShrink float64
+	BudgetSwingGrow   float64
 
 	// CrashRate is the per-phase, per-site probability that a join site
 	// crashes at the start of a phase, aborting the query attempt; the
@@ -115,6 +128,12 @@ func NewRegistry(spec Spec) *Registry {
 	}
 	if spec.MemGrowFactor <= 0 {
 		spec.MemGrowFactor = 1.5
+	}
+	if spec.BudgetSwingShrink <= 0 {
+		spec.BudgetSwingShrink = 0.7
+	}
+	if spec.BudgetSwingGrow <= 0 {
+		spec.BudgetSwingGrow = 1.4
 	}
 	if spec.MaxCrashes <= 0 {
 		spec.MaxCrashes = 1
@@ -206,6 +225,25 @@ func (r *Registry) MemFactor(phase int) float64 {
 		return r.spec.MemShrinkFactor
 	}
 	return r.spec.MemGrowFactor
+}
+
+// BudgetSwing reports the multiplier applied to the join-memory budget at
+// the given batch epoch of the given phase: 1 when no swing fires,
+// otherwise the spec's downward or upward swing factor. Pure function of
+// (phase, epoch), so the same build observes the same budget trajectory in
+// every run. Consecutive multipliers compound — the consumer clamps the
+// running product.
+func (r *Registry) BudgetSwing(phase, epoch int) float64 {
+	if r == nil || r.spec.BudgetSwingRate <= 0 {
+		return 1
+	}
+	if r.roll(kindSwing, uint64(phase), uint64(epoch), 0, 0) >= r.spec.BudgetSwingRate {
+		return 1
+	}
+	if r.roll(kindSwingDir, uint64(phase), uint64(epoch), 0, 0) < 0.5 {
+		return r.spec.BudgetSwingShrink
+	}
+	return r.spec.BudgetSwingGrow
 }
 
 // CrashSiteAt reports whether a site crashes at the start of the given

@@ -203,6 +203,32 @@ func (ht *HashTable) clearTenPercent(a *cost.Acct) []tuple.Tuple {
 	return evicted
 }
 
+// SpillAll drains the whole table — the dynamic Hybrid spill path, which
+// demotes an entire partition to disk instead of shaving 10% off a shared
+// table. Tuples come back in insertion order together with their routing
+// hashes so the caller can forward them to the partition's overflow file
+// with routing intact; the walk is charged like a clearing pass. The table
+// is left empty but reusable (capacity, attr, and cutoff untouched), ready
+// for a later resurrection.
+func (ht *HashTable) SpillAll(a *cost.Acct) ([]tuple.Tuple, []uint64) {
+	if len(ht.entries) == 0 {
+		return nil, nil
+	}
+	a.AddCPU(cost.ScaleNs(len(ht.entries), ht.model.Chain))
+	tuples := make([]tuple.Tuple, len(ht.entries))
+	hashes := make([]uint64, len(ht.entries))
+	for i := range ht.entries {
+		tuples[i] = ht.entries[i].t
+		hashes[i] = ht.entries[i].h
+	}
+	ht.entries = ht.entries[:0]
+	for i := range ht.heads {
+		ht.heads[i] = 0
+	}
+	ht.hist = [256]int32{}
+	return tuples, hashes
+}
+
 // Probe looks up every stored tuple matching the key and calls fn for each,
 // charging the probe and per-chain-element costs.
 func (ht *HashTable) Probe(a *cost.Acct, h uint64, key int32, fn func(match *tuple.Tuple)) {

@@ -20,6 +20,13 @@ type MemPool struct {
 	inUse int64
 	peak  int64
 	taken int // grants handed out over the pool's lifetime
+
+	// Revocation accounting (the scheduler's revoke-and-re-grant path,
+	// docs/SCHEDULER.md "Dynamic Hybrid"). Revoked bytes return to the free
+	// pool immediately; a later Regrant hands them back to the victim.
+	revokedBytes   int64 // bytes taken back from running queries, cumulative
+	regrantedBytes int64 // bytes handed back after a revocation, cumulative
+	revokes        int   // individual Revoke calls
 }
 
 // NewMemPool creates a pool of the given aggregate size in bytes.
@@ -77,3 +84,44 @@ func (p *MemPool) Release(n int64) error {
 	p.inUse -= n
 	return nil
 }
+
+// Revoke takes n bytes back from a running query's grant, returning them to
+// the free pool. The caller is responsible for shrinking the victim's
+// recorded grant by the same amount; revoking more than is in use is a
+// scheduler bug, exactly like over-releasing.
+func (p *MemPool) Revoke(n int64) error {
+	if n <= 0 || n > p.inUse {
+		return fmt.Errorf("gamma: revoking %d with only %d in use", n, p.inUse)
+	}
+	p.inUse -= n
+	p.revokedBytes += n
+	p.revokes++
+	return nil
+}
+
+// Regrant hands previously revoked capacity back to a victim. It is a Take
+// that counts toward the re-grant ledger instead of the admission ledger, so
+// Grants() still means "queries admitted".
+func (p *MemPool) Regrant(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("gamma: re-grant must be positive, got %d", n)
+	}
+	if n > p.Free() {
+		return fmt.Errorf("gamma: re-grant %d exceeds free pool %d/%d", n, p.Free(), p.total)
+	}
+	p.inUse += n
+	p.regrantedBytes += n
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return nil
+}
+
+// Revoked returns the cumulative bytes revoked from running queries.
+func (p *MemPool) Revoked() int64 { return p.revokedBytes }
+
+// Regranted returns the cumulative bytes handed back after revocations.
+func (p *MemPool) Regranted() int64 { return p.regrantedBytes }
+
+// Revokes returns how many Revoke calls the pool has served.
+func (p *MemPool) Revokes() int { return p.revokes }

@@ -36,6 +36,46 @@ func TestMemPoolAccounting(t *testing.T) {
 	}
 }
 
+func TestMemPoolRevokeRegrant(t *testing.T) {
+	p := NewMemPool(100)
+	if err := p.Take(80); err != nil {
+		t.Fatalf("take 80: %v", err)
+	}
+	if err := p.Revoke(0); err == nil {
+		t.Fatal("zero revoke should fail")
+	}
+	if err := p.Revoke(81); err == nil {
+		t.Fatal("revoking more than in use should fail")
+	}
+	if err := p.Revoke(30); err != nil {
+		t.Fatalf("revoke 30: %v", err)
+	}
+	// Revoked bytes return to the free pool immediately; the admission
+	// ledger (Grants) does not move.
+	if p.Free() != 50 || p.InUse() != 50 || p.Grants() != 1 {
+		t.Fatalf("after revoke: free %d inUse %d grants %d", p.Free(), p.InUse(), p.Grants())
+	}
+	if p.Revoked() != 30 || p.Revokes() != 1 || p.Regranted() != 0 {
+		t.Fatalf("ledger: revoked %d in %d calls, regranted %d", p.Revoked(), p.Revokes(), p.Regranted())
+	}
+	if err := p.Regrant(51); err == nil {
+		t.Fatal("re-grant beyond free pool should fail")
+	}
+	if err := p.Regrant(30); err != nil {
+		t.Fatalf("regrant 30: %v", err)
+	}
+	if p.InUse() != 80 || p.Grants() != 1 || p.Regranted() != 30 {
+		t.Fatalf("after regrant: inUse %d grants %d regranted %d", p.InUse(), p.Grants(), p.Regranted())
+	}
+	// The cumulative ledgers survive the grant's release.
+	if err := p.Release(80); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if p.Revoked() != 30 || p.Regranted() != 30 || p.Revokes() != 1 {
+		t.Fatalf("ledger after release: %d/%d/%d", p.Revoked(), p.Regranted(), p.Revokes())
+	}
+}
+
 func TestJoinMemPoolSizing(t *testing.T) {
 	c := NewRemote(4, 4, nil)
 	if got := c.JoinMemPool(1000).Total(); got != 4000 {

@@ -23,8 +23,9 @@ type Config struct {
 	Policy Policy
 	MPL    int // multiprogramming level: max concurrent queries; <=0 = unlimited
 
-	// Model prices the Shrink policy's extra bucket-forming pass. Required
-	// for Shrink, unused otherwise.
+	// Model prices the Shrink policy's extra bucket-forming pass and the
+	// ShrinkRevoke policy's spill penalty. Required for those two, unused
+	// otherwise.
 	Model *cost.Model
 
 	Exec Exec
@@ -74,11 +75,20 @@ type runq struct {
 	schedRem cost.SimNs
 	done     bool
 	finishNs cost.SimNs
+
+	// Revocation state (ShrinkRevoke only; zero-valued otherwise).
+	// revoked is how much of the grant the engine has clawed back;
+	// penalty is the spill-repass phase appended to the schedule's end,
+	// cancelled (zeroed) if the memory comes back before pi reaches
+	// penaltyIdx.
+	revoked    int64
+	penalty    *phaseSched
+	penaltyIdx int
 }
 
 // newRunq builds the interleavable schedule from the query's report.
 func newRunq(q *Query, rep *core.Report, grant int64, admitNs cost.SimNs) *runq {
-	r := &runq{q: q, rep: rep, grant: grant, admitNs: admitNs}
+	r := &runq{q: q, rep: rep, grant: grant, admitNs: admitNs, penaltyIdx: -1}
 	for _, ps := range rep.Phases {
 		ph := &phaseSched{
 			name:  ps.Name,
@@ -168,8 +178,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Exec == nil {
 		return nil, fmt.Errorf("sched: config needs an executor")
 	}
-	if cfg.Policy == Shrink && cfg.Model == nil {
-		return nil, fmt.Errorf("sched: shrink policy needs a cost model")
+	if (cfg.Policy == Shrink || cfg.Policy == ShrinkRevoke) && cfg.Model == nil {
+		return nil, fmt.Errorf("sched: %s policy needs a cost model", cfg.Policy)
 	}
 	return &Engine{cfg: cfg, sitePeak: make(map[int]int)}, nil
 }
@@ -221,7 +231,7 @@ func (e *Engine) decide(q *Query) (int64, bool) {
 			return 0, false
 		}
 		return g, true
-	case Shrink:
+	case Shrink, ShrinkRevoke:
 		for k := int64(1); k <= 8; k++ {
 			g := (demand + k - 1) / k
 			if g < minGrant {
@@ -274,6 +284,122 @@ func (e *Engine) projectedWait(demand int64) cost.SimNs {
 	return cost.SimNs(int64(^uint64(0) >> 1))
 }
 
+// grantFloor is the smallest grant a query is ever held to: 1/8 of its
+// clamped demand, the lowest memory ratio the paper plots (Figures 5-9),
+// never below one tuple slot.
+func (e *Engine) grantFloor(q *Query) int64 {
+	f := e.clampDemand(q.DemandBytes) / 8
+	if f < minGrant {
+		f = minGrant
+	}
+	return f
+}
+
+// tryRevoke fires only under ShrinkRevoke, when the queue head is
+// memory-blocked at its own floor: even a demand/8 grant does not fit the
+// free pool. It claws back surplus — grant above the same floor — from
+// running queries, largest surplus first (admission order breaking ties),
+// until the head's floor grant fits, and returns that grant. Each victim is
+// charged one repartition pass over its spilled fraction, appended as a
+// final schedule phase; the retirement loop re-grants and cancels the
+// penalty if memory frees up before the victim reaches it. If the running
+// set's total surplus cannot cover the head, nothing is touched.
+func (e *Engine) tryRevoke(q *Query) (int64, bool) {
+	g := e.grantFloor(q)
+	free := e.cfg.Pool.Free()
+	if free >= g {
+		// Not memory-blocked: decide refused on price, so waiting is
+		// projected cheaper than spilling. Revoking would not help.
+		return 0, false
+	}
+	need := g - free
+	type victim struct {
+		r     *runq
+		slack int64
+	}
+	var vs []victim
+	var total int64
+	for _, r := range e.running {
+		if r.penaltyIdx >= 0 && r.pi >= r.penaltyIdx {
+			// Already paying its spill pass; its table is gone.
+			continue
+		}
+		if s := r.grant - e.grantFloor(r.q); s > 0 {
+			vs = append(vs, victim{r, s})
+			total += s
+		}
+	}
+	if total < need {
+		return 0, false
+	}
+	sort.SliceStable(vs, func(i, j int) bool { return vs[i].slack > vs[j].slack })
+	for _, v := range vs {
+		amt := v.slack
+		if amt > need {
+			amt = need
+		}
+		if err := e.revoke(v.r, amt); err != nil {
+			return 0, false
+		}
+		need -= amt
+		if need == 0 {
+			break
+		}
+	}
+	return g, true
+}
+
+// revoke shrinks one running query's grant by amt and prices the loss: the
+// revoked build memory plus the proportional share of the outer relation
+// detours through a disk partition, one repartition pass over those bytes
+// (the dynamic Hybrid whole-partition spill). The pass is appended to the
+// end of the victim's schedule so the engine can cancel it on a re-grant.
+func (e *Engine) revoke(r *runq, amt int64) error {
+	if err := e.cfg.Pool.Revoke(amt); err != nil {
+		return err
+	}
+	r.grant -= amt
+	r.revoked += amt
+	spill := amt
+	if d := r.q.DemandBytes; d > 0 {
+		spill += amt * r.q.OuterBytes / d
+	}
+	pen := e.cfg.Model.RepartitionPassNs(cost.Bytes(spill), tuple.Bytes)
+	if r.penalty == nil {
+		r.penalty = &phaseSched{name: "revoke spill pass", sched: pen}
+		r.penaltyIdx = len(r.phases)
+		r.phases = append(r.phases, r.penalty)
+	} else {
+		r.penalty.sched += pen
+	}
+	return nil
+}
+
+// regrantRevoked walks the running set in admission order and returns
+// revoked memory to any victim whose full clawback now fits the free pool
+// and who has not yet started its spill pass — cancelling the penalty
+// phase, the scheduler-level mirror of partition resurrection. No-op
+// outside ShrinkRevoke (no query ever has revoked > 0).
+func (e *Engine) regrantRevoked() error {
+	for _, r := range e.running {
+		if r.revoked == 0 || r.pi >= r.penaltyIdx {
+			continue
+		}
+		if e.cfg.Pool.Free() < r.revoked {
+			continue
+		}
+		if err := e.cfg.Pool.Regrant(r.revoked); err != nil {
+			return err
+		}
+		r.grant += r.revoked
+		r.revoked = 0
+		r.penalty.sched = 0 // nextPhase skips emptied phases
+		r.penalty = nil
+		r.penaltyIdx = -1
+	}
+	return nil
+}
+
 // Run executes the workload to completion and returns its result. queries
 // must be in arrival order. The loop is a single-goroutine event simulation:
 // between events every site serves its resident queries processor-sharing
@@ -299,6 +425,14 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 			waitq = append(waitq, queries[next])
 			next++
 		}
+		// Victims first: revoked memory flows back to earlier admissions
+		// before any new query is considered, cancelling their spill
+		// penalties while they can still use the table space.
+		if e.cfg.Policy == ShrinkRevoke {
+			if err := e.regrantRevoked(); err != nil {
+				return nil, err
+			}
+		}
 		// Admit the queue head while the policy allows. Admission is FIFO
 		// for every policy: a query never overtakes an earlier arrival, so
 		// grants differ between policies but order never does.
@@ -308,6 +442,9 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 			}
 			q := waitq[0]
 			grant, ok := e.decide(q)
+			if !ok && e.cfg.Policy == ShrinkRevoke {
+				grant, ok = e.tryRevoke(q)
+			}
 			if !ok {
 				break
 			}

@@ -72,6 +72,13 @@ type Result struct {
 
 	PeakMPL int // most queries concurrently resident
 
+	// Revocation traffic (ShrinkRevoke only; zero under the other
+	// policies, whose reports must stay byte-identical to pre-revoke
+	// builds).
+	RevokedBytes   int64
+	RegrantedBytes int64
+	Revokes        int
+
 	// SitePeak is each site's lease high-water mark: the most queries that
 	// simultaneously held unfinished work there.
 	SitePeak map[int]int
@@ -86,6 +93,10 @@ func (e *Engine) buildResult(queries []*Query, admitted map[int]*runq) *Result {
 		PoolPeak:  e.cfg.Pool.Peak(),
 		PeakMPL:   e.peakMPL,
 		SitePeak:  e.sitePeak,
+
+		RevokedBytes:   e.cfg.Pool.Revoked(),
+		RegrantedBytes: e.cfg.Pool.Regranted(),
+		Revokes:        e.cfg.Pool.Revokes(),
 	}
 	var waitSum cost.SimNs
 	for _, q := range queries {
@@ -184,6 +195,10 @@ func (r *Result) WriteText(w io.Writer) error {
 		fmt.Fprintf(bw, " %d:%d", s, r.SitePeak[s])
 	}
 	fmt.Fprintln(bw)
+	if r.Policy == ShrinkRevoke {
+		fmt.Fprintf(bw, "revocations %d: %.0f KB revoked, %.0f KB re-granted\n",
+			r.Revokes, float64(r.RevokedBytes)/1024, float64(r.RegrantedBytes)/1024)
+	}
 	return bw.Flush()
 }
 

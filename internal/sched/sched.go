@@ -59,9 +59,23 @@ const (
 	// Hybrid on the integral points of Figure 7, avoiding the
 	// non-integral-ratio overflow pathology.
 	Shrink
+	// ShrinkRevoke is Shrink plus a revocation path: when even the most
+	// shrunken grant (demand/8) does not fit the free pool, the engine
+	// revokes surplus memory — anything above the same demand/8 floor —
+	// from running queries, largest grant first. A victim is priced one
+	// extra bucket-forming pass over the spilled fraction of its
+	// remaining work (the dynamic Hybrid executor's whole-partition
+	// spill, Section 3.4), appended to the end of its schedule; if the
+	// pool frees up before the victim reaches that phase, the memory is
+	// re-granted and the penalty cancelled — the mid-build resurrection
+	// path. FIFO, Fair, and Shrink schedules are untouched by any of
+	// this: the revoke machinery runs only under this policy.
+	ShrinkRevoke
 )
 
-// Policies lists every policy, in flag-name order.
+// Policies lists every policy, in flag-name order. ShrinkRevoke is
+// deliberately absent: the MPL sweep (and its benchmarked qps baseline)
+// iterates this slice, and the revoke policy is opt-in via -policy revoke.
 var Policies = []Policy{FIFO, Fair, Shrink}
 
 func (p Policy) String() string {
@@ -72,6 +86,8 @@ func (p Policy) String() string {
 		return "fair"
 	case Shrink:
 		return "shrink"
+	case ShrinkRevoke:
+		return "revoke"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -86,8 +102,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return Fair, nil
 	case "shrink":
 		return Shrink, nil
+	case "revoke":
+		return ShrinkRevoke, nil
 	}
-	return 0, fmt.Errorf("sched: unknown policy %q (want fifo, fair, or shrink)", s)
+	return 0, fmt.Errorf("sched: unknown policy %q (want fifo, fair, shrink, or revoke)", s)
 }
 
 // Query is one workload item: the join shape the executor understands plus

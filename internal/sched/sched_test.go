@@ -211,6 +211,117 @@ func TestShrinkTradeoff(t *testing.T) {
 	}
 }
 
+// revokeWorkload is the canonical revocation scenario: q1 holds the whole
+// 100KB pool, q2 arrives while it runs and is memory-blocked below even its
+// demand/8 floor, so only ShrinkRevoke can admit it before q1 finishes.
+func revokeWorkload(t *testing.T, policy Policy, q2Work int64) (*Result, *gamma.MemPool) {
+	t.Helper()
+	pool := gamma.NewMemPool(100 << 10)
+	exec := func(q *Query, grant int64) (*core.Report, error) {
+		work := int64(1_000_000)
+		if q.ID == 2 {
+			work = q2Work
+		}
+		return synthExec(0, work, 1)(q, grant)
+	}
+	res := mustRun(t, Config{Pool: pool, Policy: policy, Model: cost.Default(), Exec: exec},
+		[]*Query{
+			{ID: 1, ArriveNs: 0, DemandBytes: 100 << 10, OuterBytes: 200 << 10},
+			{ID: 2, ArriveNs: 10, DemandBytes: 100 << 10, OuterBytes: 200 << 10},
+		})
+	return res, pool
+}
+
+// ShrinkRevoke claws back the head's floor grant from the running victim and
+// charges the victim one repartition pass over its spilled share, appended to
+// the end of its schedule.
+func TestRevokeAdmitsBlockedHead(t *testing.T) {
+	res, pool := revokeWorkload(t, ShrinkRevoke, 1_000_000)
+	q1, q2 := res.Queries[0], res.Queries[1]
+	floor := int64(100<<10) / 8
+	if q2.AdmitNs != 10 || q2.WaitNs != 0 {
+		t.Errorf("q2 admit %d wait %d; revocation should admit it on arrival", q2.AdmitNs, q2.WaitNs)
+	}
+	if q2.GrantBytes != floor {
+		t.Errorf("q2 grant = %d, want the demand/8 floor %d", q2.GrantBytes, floor)
+	}
+	if pool.Revoked() != floor || pool.Revokes() != 1 {
+		t.Errorf("pool revoked %d in %d calls, want %d in 1", pool.Revoked(), pool.Revokes(), floor)
+	}
+	if res.RevokedBytes != floor || res.Revokes != 1 {
+		t.Errorf("result ledger %d/%d, want %d/1", res.RevokedBytes, res.Revokes, floor)
+	}
+	// Both queries share site 0 with equal 1M work, so q1's work phase drains
+	// at 2M-10; the spill penalty — one pass over the revoked build bytes
+	// plus the proportional outer share — lands after it, uncancelled
+	// because q1 reached the penalty phase while q2 still held the memory.
+	spill := cost.Bytes(floor + floor*2)
+	pen := cost.Default().RepartitionPassNs(spill, tuple.Bytes)
+	if pen <= 0 {
+		t.Fatal("penalty pass should cost time")
+	}
+	if want := cost.Ns(2_000_000-10) + pen; q1.ResponseNs != want {
+		t.Errorf("q1 response = %d, want work 2M-10 + penalty %d = %d", q1.ResponseNs, pen, want)
+	}
+	if res.RegrantedBytes != 0 {
+		t.Errorf("re-granted %d bytes; victim reached its spill pass, nothing should come back", res.RegrantedBytes)
+	}
+}
+
+// If the revoked memory frees up before the victim reaches its spill pass,
+// the engine re-grants it and cancels the penalty — the scheduler-level
+// mirror of partition resurrection.
+func TestRevokeRegrantCancelsPenalty(t *testing.T) {
+	res, pool := revokeWorkload(t, ShrinkRevoke, 1000)
+	q1 := res.Queries[0]
+	floor := int64(100<<10) / 8
+	if pool.Regranted() != floor || res.RegrantedBytes != floor {
+		t.Errorf("re-granted %d/%d, want %d", pool.Regranted(), res.RegrantedBytes, floor)
+	}
+	// q2's 1000ns of shared work delays q1 by exactly 1000ns; the cancelled
+	// penalty phase must contribute nothing.
+	if want := cost.Ns(1_001_000); q1.ResponseNs != want {
+		t.Errorf("q1 response = %d, want %d with the penalty cancelled", q1.ResponseNs, want)
+	}
+}
+
+// The legacy policies never touch the revocation path: same workload, zero
+// revocation traffic, and no revocation line in the report text.
+func TestLegacyPoliciesNeverRevoke(t *testing.T) {
+	for _, p := range Policies {
+		res, pool := revokeWorkload(t, p, 1_000_000)
+		if pool.Revoked() != 0 || pool.Regranted() != 0 || pool.Revokes() != 0 {
+			t.Errorf("%v: revocation traffic %d/%d/%d, want none", p, pool.Revoked(), pool.Regranted(), pool.Revokes())
+		}
+		var buf bytes.Buffer
+		if err := res.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(buf.Bytes(), []byte("revocations")) {
+			t.Errorf("%v: report text grew a revocation line; legacy output must stay byte-identical", p)
+		}
+		// Under every legacy policy q2 waits for q1 instead of shrinking it.
+		if q2 := res.Queries[1]; q2.AdmitNs != res.Queries[0].FinishNs {
+			t.Errorf("%v: q2 admitted at %d, want q1's finish %d", p, q2.AdmitNs, res.Queries[0].FinishNs)
+		}
+	}
+}
+
+func TestParsePolicyRevoke(t *testing.T) {
+	got, err := ParsePolicy("revoke")
+	if err != nil || got != ShrinkRevoke {
+		t.Fatalf("ParsePolicy(revoke) = %v, %v", got, err)
+	}
+	if got.String() != "revoke" {
+		t.Errorf("String() = %q, want revoke", got.String())
+	}
+	for _, p := range Policies {
+		if p == ShrinkRevoke {
+			t.Error("Policies must not include revoke: MPLSweep and the bench baseline iterate it")
+		}
+	}
+}
+
 // The generator is a pure function of its spec.
 func TestGenWorkloadDeterminism(t *testing.T) {
 	ws := WorkloadSpec{N: 32, Seed: 7, MeanGapNs: 1e9, InnerBytes: 1 << 20, OuterBytes: 10 << 20}

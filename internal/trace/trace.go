@@ -303,9 +303,56 @@ func (r *Recorder) Spans() []*Span {
 		if ra, rb := roleRank(a.Role), roleRank(b.Role); ra != rb {
 			return ra < rb
 		}
-		return a.Op < b.Op
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		// A failover can rehost a dead site's role onto its ring successor,
+		// which then carries two spans with the same (site, role, op) in one
+		// phase — appended in goroutine-scheduling order. Break such ties on
+		// every remaining exported field so the order, and therefore the
+		// export bytes, cannot depend on the race.
+		if a.Bucket != b.Bucket {
+			return a.Bucket < b.Bucket
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		if a.CPU != b.CPU {
+			return a.CPU < b.CPU
+		}
+		if a.Disk != b.Disk {
+			return a.Disk < b.Disk
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return lessEvents(a.Events, b.Events)
 	})
 	return spans
+}
+
+// lessEvents orders two span event lists lexicographically — the final span
+// tie-breaker. Lists that compare equal here make the spans identical in
+// every exported field, so their relative order is unobservable.
+func lessEvents(a, b []Event) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].Kind != b[i].Kind {
+			return a[i].Kind < b[i].Kind
+		}
+		if a[i].Detail != b[i].Detail {
+			return a[i].Detail < b[i].Detail
+		}
+		if a[i].At != b[i].At {
+			return a[i].At < b[i].At
+		}
+	}
+	return len(a) < len(b)
 }
 
 // Instants returns the recorded instants (already in coordinator order).

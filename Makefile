@@ -1,7 +1,7 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail degrade clean
+.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail degrade prof clean
 
 all: build vet test
 
@@ -148,6 +148,34 @@ degrade:
 		|| { echo "degrade gate: dynamic p95 does not beat static"; exit 1; }
 	@echo "degrade gate: OK"
 
+# prof is the profiler determinism gate (docs/OBSERVABILITY.md, "Where did
+# the time go"): export fig5's profiles and span tables twice and require
+# byte-identical trees; require gammaprof's offline re-profile of a spans TSV
+# to reproduce the harness's in-process report byte-for-byte; and require
+# gammaprof diff to be deterministic. Also checks the blame identity line is
+# present in every text report — the buckets-sum-to-response contract.
+prof:
+	rm -rf /tmp/gammajoin-prof-1 /tmp/gammajoin-prof-2 /tmp/gammajoin-prof-spans
+	$(GO) run $(RACE) ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+		-prof-dir /tmp/gammajoin-prof-1 -trace-dir /tmp/gammajoin-prof-spans > /dev/null
+	$(GO) run $(RACE) ./cmd/gammabench -exp fig5 -outer 8000 -inner 800 \
+		-prof-dir /tmp/gammajoin-prof-2 > /dev/null
+	diff -r /tmp/gammajoin-prof-1 /tmp/gammajoin-prof-2
+	grep -L "^identity: buckets sum to" /tmp/gammajoin-prof-1/*.prof.txt | \
+		{ ! grep . ; } || { echo "prof gate: report missing the identity line"; exit 1; }
+	$(GO) run ./cmd/gammaprof report \
+		/tmp/gammajoin-prof-spans/hybrid_r0.5_local_hpja.spans.tsv \
+		> /tmp/gammajoin-prof-offline.txt
+	cmp /tmp/gammajoin-prof-offline.txt /tmp/gammajoin-prof-1/hybrid_r0.5_local_hpja.prof.txt
+	$(GO) run ./cmd/gammaprof diff \
+		/tmp/gammajoin-prof-1/simple_r0.5_local_hpja.prof.tsv \
+		/tmp/gammajoin-prof-1/hybrid_r0.5_local_hpja.prof.tsv > /tmp/gammajoin-prof-diff-1.txt
+	$(GO) run ./cmd/gammaprof diff \
+		/tmp/gammajoin-prof-1/simple_r0.5_local_hpja.prof.tsv \
+		/tmp/gammajoin-prof-1/hybrid_r0.5_local_hpja.prof.tsv > /tmp/gammajoin-prof-diff-2.txt
+	cmp /tmp/gammajoin-prof-diff-1.txt /tmp/gammajoin-prof-diff-2.txt
+	@echo "prof gate: OK ($$(ls /tmp/gammajoin-prof-1/*.prof.txt | wc -l) profiles byte-identical; offline == in-process)"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
@@ -159,3 +187,5 @@ clean:
 	rm -f /tmp/gammajoin-mpl-1.txt /tmp/gammajoin-mpl-2.txt
 	rm -f /tmp/gammajoin-mplsweep-1.txt /tmp/gammajoin-mplsweep-2.txt
 	rm -f /tmp/gammajoin-degrade-1.txt /tmp/gammajoin-degrade-2.txt
+	rm -rf /tmp/gammajoin-prof-1 /tmp/gammajoin-prof-2 /tmp/gammajoin-prof-spans
+	rm -f /tmp/gammajoin-prof-offline.txt /tmp/gammajoin-prof-diff-1.txt /tmp/gammajoin-prof-diff-2.txt

@@ -23,6 +23,12 @@
 //     machine-independent and byte-deterministic, so they must match the
 //     baseline exactly. A drifted sim-sec is a correctness change hiding in
 //     a perf gate, and is reported as such.
+//
+// When a gate fails and both -prof-base and -prof-cur name directories of
+// gammaprof profiles (*.prof.tsv, from `gammabench -prof-dir`), benchcheck
+// diffs every profile present in both and prints each one-line headline —
+// which phase moved, and which resource inside it — so a regression report
+// arrives with its own explanation attached.
 package main
 
 import (
@@ -31,10 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/profile"
 )
 
 // Bench is one benchmark's numbers: minimum wall-clock per op across the
@@ -204,6 +214,8 @@ func main() {
 	against := flag.String("against", "", "compare the parsed benchmarks against this baseline JSON")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional wall-clock regression after machine normalization")
 	simOnly := flag.Bool("sim-only", false, "gate only the simulated metrics (exact match); skip the wall-clock comparison")
+	profBase := flag.String("prof-base", "", "baseline gammaprof profile directory (*.prof.tsv); on failure, explain what moved")
+	profCur := flag.String("prof-cur", "", "current gammaprof profile directory (*.prof.tsv); on failure, explain what moved")
 	flag.Parse()
 	if *emit == "" && *against == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: need -emit and/or -against")
@@ -232,8 +244,54 @@ func main() {
 			fmt.Printf("benchcheck: FAIL %s\n", f)
 		}
 		if len(fails) > 0 {
+			explainWithProfiles(*profBase, *profCur)
 			os.Exit(1)
 		}
 		fmt.Println("benchcheck: OK")
 	}
+}
+
+// explainWithProfiles diffs every gammaprof profile present in both
+// directories and prints the headline of each pair that moved: the gate just
+// said WHAT regressed, the profiles say WHERE the time went.
+func explainWithProfiles(baseDir, curDir string) {
+	if baseDir == "" || curDir == "" {
+		return
+	}
+	names, err := filepath.Glob(filepath.Join(curDir, "*.prof.tsv"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: profile scan: %v\n", err)
+		return
+	}
+	sort.Strings(names)
+	for _, curPath := range names {
+		name := filepath.Base(curPath)
+		basePath := filepath.Join(baseDir, name)
+		a, err := loadProfile(basePath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // run not in the baseline set: nothing to compare
+			}
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", basePath, err)
+			continue
+		}
+		b, err := loadProfile(curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", curPath, err)
+			continue
+		}
+		if h := profile.Diff(a, b).Headline(); h != "" {
+			fmt.Printf("benchcheck: profile diff %s: %s\n",
+				strings.TrimSuffix(name, ".prof.tsv"), h)
+		}
+	}
+}
+
+func loadProfile(path string) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.Load(f, cost.Default())
 }

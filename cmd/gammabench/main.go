@@ -8,7 +8,9 @@
 //	gammabench -exp fig5,fig7,table3    # a selection
 //	gammabench -exp fig5 -outer 20000 -inner 2000   # scaled down
 //	gammabench -alg hybrid -trace out.json -metrics out.tsv   # one traced join
+//	gammabench -alg hybrid -prof hybrid.prof.txt              # blame + critical path
 //	gammabench -exp fig5 -trace-dir traces/   # export every run's timeline
+//	gammabench -exp fig5 -prof-dir profs/     # profile every run (gammaprof)
 //
 // Response times are simulated seconds from the Gamma-calibrated cost
 // model; series shapes — orderings, crossovers, steps — reproduce the
@@ -16,7 +18,9 @@
 //
 // -trace writes Chrome trace_event JSON over simulated time — load it at
 // https://ui.perfetto.dev; -metrics writes the per-phase metric samples as
-// TSV (docs/OBSERVABILITY.md describes both formats).
+// TSV; -prof/-prof-dir write gammaprof blame/critical-path reports whose
+// buckets sum bit-exactly to the reported response time
+// (docs/OBSERVABILITY.md describes every format).
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"gammajoin/internal/cost"
 	"gammajoin/internal/experiments"
 	"gammajoin/internal/fault"
+	"gammajoin/internal/profile"
 	"gammajoin/internal/sched"
 	"gammajoin/internal/walltime"
 )
@@ -53,7 +58,9 @@ func main() {
 		estError   = flag.Float64("est-error", 0, "corrupt the optimizer's inner-size estimate by this factor (0 or 1 = exact; see docs/SCHEDULER.md, Dynamic Hybrid)")
 		traceOut   = flag.String("trace", "", "with -alg: write the run's Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics", "", "with -alg: write the run's per-phase metrics TSV to this file")
-		traceDir   = flag.String("trace-dir", "", "export every experiment run's trace JSON + metrics TSV into this directory")
+		traceDir   = flag.String("trace-dir", "", "export every experiment run's trace JSON + metrics/spans TSV into this directory")
+		profOut    = flag.String("prof", "", "with -alg: write the run's gammaprof report to this file (text; *.tsv gets the machine-readable profile)")
+		profDir    = flag.String("prof-dir", "", "write every run's gammaprof profile (<slug>.prof.txt + .prof.tsv; with -mpl, q<id>.prof.*) into this directory")
 
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (enables fault injection with any -fault-* rate)")
 		faultDisk  = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
@@ -130,6 +137,7 @@ func main() {
 	}
 
 	cfg.TraceDir = *traceDir
+	cfg.ProfDir = *profDir
 
 	h := experiments.NewHarness(cfg)
 	fmt.Printf("joinABprime: %d-tuple outer ⋈ %d-tuple inner, %d disk sites",
@@ -151,7 +159,7 @@ func main() {
 	fmt.Println()
 
 	if *mpl > 0 {
-		if err := runWorkload(h, *mpl, *policy, *queries, *arrivalSeed, *gapMs, *poolMB, *traceDir); err != nil {
+		if err := runWorkload(h, *mpl, *policy, *queries, *arrivalSeed, *gapMs, *poolMB, *traceDir, *profDir); err != nil {
 			fmt.Fprintln(os.Stderr, "gammabench:", err)
 			os.Exit(1)
 		}
@@ -159,7 +167,7 @@ func main() {
 	}
 
 	if *alg != "" {
-		if err := runSingle(h, *alg, *ratio, *traceOut, *metricsOut); err != nil {
+		if err := runSingle(h, *alg, *ratio, *traceOut, *metricsOut, *profOut); err != nil {
 			fmt.Fprintln(os.Stderr, "gammabench:", err)
 			os.Exit(1)
 		}
@@ -236,7 +244,7 @@ func parseAlg(name string) (core.Algorithm, error) {
 // prints its deterministic report. With -trace-dir, every query's timeline
 // is exported as q<id>.trace.json / q<id>.spans.tsv — the per-query process
 // tracks merge in Perfetto into one multi-query timeline.
-func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int, arrivalSeed uint64, gapMs, poolMB float64, traceDir string) error {
+func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int, arrivalSeed uint64, gapMs, poolMB float64, traceDir, profDir string) error {
 	pol, err := sched.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -258,21 +266,11 @@ func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int
 	if err := res.WriteText(os.Stdout); err != nil {
 		return err
 	}
-	if traceDir == "" {
-		return nil
-	}
-	if err := os.MkdirAll(traceDir, 0o755); err != nil {
-		return err
-	}
-	for _, q := range res.Queries {
-		rec := q.Report.Trace
-		for _, out := range []struct {
-			path string
-			emit func(w io.Writer) error
-		}{
-			{filepath.Join(traceDir, fmt.Sprintf("q%d.trace.json", q.ID)), rec.WriteChrome},
-			{filepath.Join(traceDir, fmt.Sprintf("q%d.spans.tsv", q.ID)), rec.WriteSpansTSV},
-		} {
+	writeAll := func(outs []struct {
+		path string
+		emit func(w io.Writer) error
+	}) error {
+		for _, out := range outs {
 			f, err := os.Create(out.path)
 			if err != nil {
 				return err
@@ -285,16 +283,56 @@ func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int
 				return err
 			}
 		}
+		return nil
 	}
-	// Status goes to stderr: stdout is the deterministic report the `make
-	// mpl` gate compares byte-for-byte, and the directory path varies.
-	fmt.Fprintf(os.Stderr, "per-query traces written to %s\n", traceDir)
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+		for _, q := range res.Queries {
+			rec := q.Report.Trace
+			if err := writeAll([]struct {
+				path string
+				emit func(w io.Writer) error
+			}{
+				{filepath.Join(traceDir, fmt.Sprintf("q%d.trace.json", q.ID)), rec.WriteChrome},
+				{filepath.Join(traceDir, fmt.Sprintf("q%d.spans.tsv", q.ID)), rec.WriteSpansTSV},
+			}); err != nil {
+				return err
+			}
+		}
+		// Status goes to stderr: stdout is the deterministic report the `make
+		// mpl` gate compares byte-for-byte, and the directory path varies.
+		fmt.Fprintf(os.Stderr, "per-query traces written to %s\n", traceDir)
+	}
+	if profDir != "" {
+		if err := os.MkdirAll(profDir, 0o755); err != nil {
+			return err
+		}
+		for i := range res.Queries {
+			q := &res.Queries[i]
+			p, err := profile.FromQueryResult(q, h.Config().Model)
+			if err != nil {
+				return fmt.Errorf("profiling q%d: %w", q.ID, err)
+			}
+			if err := writeAll([]struct {
+				path string
+				emit func(w io.Writer) error
+			}{
+				{filepath.Join(profDir, fmt.Sprintf("q%d.prof.txt", q.ID)), p.WriteText},
+				{filepath.Join(profDir, fmt.Sprintf("q%d.prof.tsv", q.ID)), p.WriteTSV},
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "per-query profiles written to %s\n", profDir)
+	}
 	return nil
 }
 
 // runSingle executes one joinABprime join on the local configuration and
-// optionally exports its timeline and metric samples.
-func runSingle(h *experiments.Harness, algName string, ratio float64, traceOut, metricsOut string) error {
+// optionally exports its timeline, metric samples, and gammaprof profile.
+func runSingle(h *experiments.Harness, algName string, ratio float64, traceOut, metricsOut, profOut string) error {
 	a, err := parseAlg(algName)
 	if err != nil {
 		return err
@@ -338,6 +376,19 @@ func runSingle(h *experiments.Harness, algName string, ratio float64, traceOut, 
 	}
 	if metricsOut != "" {
 		if err := write(metricsOut, "metrics", rep.Trace.WriteMetricsTSV); err != nil {
+			return err
+		}
+	}
+	if profOut != "" {
+		p, err := profile.FromReport(rep, h.Config().Model)
+		if err != nil {
+			return err
+		}
+		emit := p.WriteText
+		if strings.HasSuffix(profOut, ".tsv") {
+			emit = p.WriteTSV
+		}
+		if err := write(profOut, "profile", emit); err != nil {
 			return err
 		}
 	}

@@ -61,3 +61,16 @@ func strayAcct(p *gamma.Phase) *cost.Acct {
 func justifiedHarness(p *gamma.Phase) *cost.Acct {
 	return p.Acct(5) //gammavet:spancheck harness measures bare accounts
 }
+
+// profilingReader models the gammaprof consumer side: a goroutine that only
+// reads recorded spans — summing resources, never charging a Phase.Acct
+// account — is not a phase worker and draws no diagnostic.
+func profilingReader(tr *trace.Recorder, sink func(cost.SimNs)) {
+	go func() {
+		var cpu cost.SimNs
+		for _, sp := range tr.Spans() {
+			cpu += sp.CPU
+		}
+		sink(cpu)
+	}()
+}

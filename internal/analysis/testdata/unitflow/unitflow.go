@@ -74,3 +74,25 @@ func justified(ns cost.SimNs) int64 {
 	//gammavet:unitflow feeding a unit-free metrics registry
 	return int64(ns)
 }
+
+// parsedColumnToNs asserts a just-parsed TSV column is nanoseconds without
+// the sanctioned constructor — the shape a profile reader must write as
+// cost.Ns(v) instead.
+func parsedColumnToNs(col string, atoi func(string) int64) cost.SimNs {
+	v := atoi(col)
+	return cost.SimNs(v) // want `cost.SimNs built by conversion from a bare expression`
+}
+
+// blameShare divides two blame buckets as floats without going through
+// Nanoseconds(), silently discarding the unit on both sides.
+func blameShare(bucket, total cost.SimNs) float64 {
+	return float64(bucket) / float64(total) // want `converting cost.SimNs to float64 discards the unit` `converting cost.SimNs to float64 discards the unit`
+}
+
+// profileSanctioned is the clean profiler shape: TSV columns enter through
+// cost.Ns, percentages and report fields exit through Nanoseconds().
+func profileSanctioned(col int64, bucket, total cost.SimNs) (cost.SimNs, float64) {
+	parsed := cost.Ns(col)
+	share := 100 * float64(bucket.Nanoseconds()) / float64(total.Nanoseconds())
+	return parsed, share
+}

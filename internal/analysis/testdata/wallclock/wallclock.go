@@ -36,3 +36,16 @@ func shimmed() time.Duration {
 func justified() time.Time {
 	return time.Now() //gammavet:wallclock this fixture models the shim itself
 }
+
+// stampedReport models the profiler mistake the analyzer exists to catch: a
+// "generated at" header would make two same-seed profile reports differ, so
+// byte-deterministic report writers must never read the clock.
+func stampedReport(emit func(string)) {
+	emit("gammaprof: generated " + time.Now().String()) // want `time.Now touches the real clock`
+}
+
+// simStampedReport is the clean shape: report headers carry simulated time
+// (already a plain duration), never the wall clock.
+func simStampedReport(simResponse time.Duration, emit func(string)) {
+	emit("gammaprof: response " + simResponse.String())
+}

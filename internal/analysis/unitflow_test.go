@@ -11,7 +11,8 @@ func TestUnitFlowSeededViolations(t *testing.T) {
 func TestUnitFlowCleanOnSimulator(t *testing.T) {
 	assertClean(t, UnitFlow,
 		"internal/core", "internal/netsim", "internal/disk", "internal/wiss",
-		"internal/gamma", "internal/sched", "internal/trace", "internal/experiments")
+		"internal/gamma", "internal/sched", "internal/trace", "internal/experiments",
+		"internal/profile", "cmd/gammaprof")
 }
 
 // assertClean runs the analyzer over real repository packages and fails on

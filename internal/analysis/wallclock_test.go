@@ -10,5 +10,6 @@ func TestWallClockSeededViolations(t *testing.T) {
 // historically read the clock, plus the shim whose directives sanction it.
 func TestWallClockCleanRepoWide(t *testing.T) {
 	assertClean(t, WallClock,
-		"cmd/gammabench", "internal/walltime", "internal/core", "internal/experiments")
+		"cmd/gammabench", "internal/walltime", "internal/core", "internal/experiments",
+		"internal/profile", "cmd/gammaprof", "cmd/benchcheck")
 }

@@ -47,9 +47,17 @@ type Config struct {
 
 	// TraceDir, when non-empty, makes the harness export every uncached
 	// run's timeline into this directory: <RunKey slug>.trace.json (Chrome
-	// trace_event, Perfetto-loadable) and <slug>.metrics.tsv (per-phase
-	// metric samples). See docs/OBSERVABILITY.md.
+	// trace_event, Perfetto-loadable), <slug>.metrics.tsv (per-phase metric
+	// samples), and <slug>.spans.tsv (the flat span table cmd/gammaprof
+	// re-profiles offline). See docs/OBSERVABILITY.md.
 	TraceDir string
+
+	// ProfDir, when non-empty, makes the harness profile every uncached run
+	// and write <slug>.prof.txt (blame, critical path, stragglers) and
+	// <slug>.prof.tsv (the machine-readable profile gammaprof diff and
+	// benchcheck consume) into this directory. See docs/OBSERVABILITY.md,
+	// "Where did the time go".
+	ProfDir string
 
 	// EstError is the default optimizer mis-estimation factor applied to
 	// every run whose RunKey does not set its own (the -est-error flag).
@@ -374,6 +382,11 @@ func (h *Harness) Run(k RunKey) (*core.Report, error) {
 	h.recovery.MirrorReads += rep.MirrorReads
 	if h.cfg.TraceDir != "" {
 		if err := writeTraceFiles(h.cfg.TraceDir, k.Slug(), rep); err != nil {
+			return nil, err
+		}
+	}
+	if h.cfg.ProfDir != "" {
+		if err := writeProfFiles(h.cfg.ProfDir, k.Slug(), rep, h.cfg.Model); err != nil {
 			return nil, err
 		}
 	}

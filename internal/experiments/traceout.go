@@ -8,6 +8,9 @@ import (
 	"strings"
 
 	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/profile"
+	"gammajoin/internal/sched"
 )
 
 // Slug renders the run key as a filename-safe identifier, used to name
@@ -72,5 +75,72 @@ func writeTraceFiles(dir, slug string, rep *core.Report) error {
 	if err := write(slug+".trace.json", rep.Trace.WriteChrome); err != nil {
 		return err
 	}
-	return write(slug+".metrics.tsv", rep.Trace.WriteMetricsTSV)
+	if err := write(slug+".metrics.tsv", rep.Trace.WriteMetricsTSV); err != nil {
+		return err
+	}
+	return write(slug+".spans.tsv", rep.Trace.WriteSpansTSV)
+}
+
+// writeProfFiles profiles one run (Config.ProfDir) into the human-readable
+// report and the machine-readable TSV. FromReport enforces the accounting
+// identity — buckets summing to anything but the reported response is an
+// error here, not a skewed report.
+func writeProfFiles(dir, slug string, rep *core.Report, m *cost.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: prof dir: %w", err)
+	}
+	p, err := profile.FromReport(rep, m)
+	if err != nil {
+		return fmt.Errorf("experiments: profile %s: %w", slug, err)
+	}
+	write := func(name string, emit func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: prof export: %w", err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: prof export %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if err := write(slug+".prof.txt", p.WriteText); err != nil {
+		return err
+	}
+	return write(slug+".prof.tsv", p.WriteTSV)
+}
+
+// writeWorkloadProfFiles profiles every query of one workload run
+// (<prefix>_q<id>.prof.txt/tsv). The workload identity extends the per-run
+// one: wait + nominal buckets + contention spread == the scheduled response.
+func writeWorkloadProfFiles(dir, prefix string, res *sched.Result, m *cost.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: prof dir: %w", err)
+	}
+	for i := range res.Queries {
+		qr := &res.Queries[i]
+		p, err := profile.FromQueryResult(qr, m)
+		if err != nil {
+			return fmt.Errorf("experiments: profile %s q%d: %w", prefix, qr.ID, err)
+		}
+		slug := fmt.Sprintf("%s_q%d", prefix, qr.ID)
+		write := func(name string, emit func(w io.Writer) error) error {
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return fmt.Errorf("experiments: prof export: %w", err)
+			}
+			if err := emit(f); err != nil {
+				f.Close()
+				return fmt.Errorf("experiments: prof export %s: %w", name, err)
+			}
+			return f.Close()
+		}
+		if err := write(slug+".prof.txt", p.WriteText); err != nil {
+			return err
+		}
+		if err := write(slug+".prof.tsv", p.WriteTSV); err != nil {
+			return err
+		}
+	}
+	return nil
 }

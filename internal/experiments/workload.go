@@ -208,6 +208,12 @@ func (h *Harness) MPLSweep() (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("mpl-sweep %s mpl=%d: %w", pol, mpl, err)
 			}
+			if h.cfg.ProfDir != "" {
+				prefix := fmt.Sprintf("mpl-sweep_%s_mpl%d", pol, mpl)
+				if err := writeWorkloadProfFiles(h.cfg.ProfDir, prefix, r, h.cfg.Model); err != nil {
+					return nil, err
+				}
+			}
 			var ratioSum float64
 			for _, q := range r.Queries {
 				ratioSum += q.RatioAtAdmission

@@ -1,0 +1,326 @@
+package profile_test
+
+// The blame-identity invariant suite: the sum of gammaprof's typed buckets
+// must equal the reported response time to the nanosecond, for every
+// algorithm, under every fault scenario the recovery ladder handles.
+// FromReport enforces the identity internally and returns an error on any
+// mismatch, so most assertions here are "profiling succeeded" plus
+// scenario-specific bucket checks.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/experiments"
+	"gammajoin/internal/fault"
+	"gammajoin/internal/profile"
+	"gammajoin/internal/sched"
+)
+
+var allAlgs = []core.Algorithm{
+	core.SortMerge, core.Simple, core.Grace, core.Hybrid, core.HybridDyn,
+}
+
+// testConfig is a scaled-down joinABprime (fast enough for the full
+// scenario matrix) with an optional fault schedule.
+func testConfig(f *fault.Spec, mirror bool) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.OuterN = 4000
+	cfg.InnerN = 400
+	cfg.Faults = f
+	cfg.Mirror = mirror
+	return cfg
+}
+
+// scenario names one cell of the identity matrix.
+type scenario struct {
+	name   string
+	faults *fault.Spec
+	mirror bool
+	est    float64
+}
+
+var scenarios = []scenario{
+	{name: "clean"},
+	{name: "disk-retry", faults: &fault.Spec{Seed: 5, DiskReadRate: 0.05}},
+	{name: "net-faults", faults: &fault.Spec{Seed: 9, NetDropRate: 0.05, NetDupRate: 0.05}},
+	{name: "failover", faults: &fault.Spec{Seed: 7, CrashRate: 0.05}, mirror: true},
+	{name: "restart", faults: &fault.Spec{Seed: 7, CrashRate: 0.05}},
+	{name: "budget-swings", faults: &fault.Spec{Seed: 77, MemPressureRate: 0.5, BudgetSwingRate: 0.5}, est: 4},
+}
+
+// TestBlameIdentityAllAlgorithms is the invariant: buckets sum bit-exactly
+// to the reported response for all five algorithms under clean runs, disk
+// retries, network faults, mirrored failover, full restarts, and budget
+// swings.
+func TestBlameIdentityAllAlgorithms(t *testing.T) {
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := testConfig(sc.faults, sc.mirror)
+			cfg.EstError = sc.est
+			h := experiments.NewHarness(cfg)
+			for _, alg := range allAlgs {
+				rep, err := h.Run(experiments.RunKey{Alg: alg, HPJA: true, Ratio: 0.5})
+				if err != nil {
+					t.Fatalf("%s: %v", alg, err)
+				}
+				p, err := profile.FromReport(rep, cfg.Model)
+				if err != nil {
+					t.Fatalf("%s: %v", alg, err)
+				}
+				if got, want := p.BlameTotal(), cost.DurNs(rep.Response); got != want {
+					t.Errorf("%s: buckets sum to %d ns, response %d ns", alg, got, want)
+				}
+				for b := profile.Bucket(0); b < profile.NumBuckets; b++ {
+					if p.Blame[b] < 0 {
+						t.Errorf("%s: bucket %s negative: %d", alg, b, p.Blame[b])
+					}
+				}
+				// Failover appends a detect phase to the continuing attempt;
+				// a full restart's detection rides the abandoned attempt and
+				// shows up in AbandonedNs instead.
+				if rep.FailedOver > 0 && p.Blame[profile.BucketDetect] == 0 {
+					t.Errorf("%s: failed over but detect bucket is empty", alg)
+				}
+				if rep.PhasesRedone > 0 && p.Blame[profile.BucketRedo] == 0 {
+					t.Errorf("%s: %d phases redone but redo bucket is empty", alg, rep.PhasesRedone)
+				}
+				if rep.Restarts > 0 && p.AbandonedNs == 0 {
+					t.Errorf("%s: %d restarts but no abandoned timeline time", alg, rep.Restarts)
+				}
+				if rep.Resurrections > 0 && p.Blame[profile.BucketResurrect] == 0 {
+					t.Errorf("%s: %d resurrections but resurrect bucket is empty", alg, rep.Resurrections)
+				}
+				// The critical path must also walk exactly to the response.
+				var cum cost.SimNs
+				for i := range p.Phases {
+					cum += p.Phases[i].Elapsed()
+				}
+				if cum != cost.DurNs(rep.Response) {
+					t.Errorf("%s: critical path sums to %d ns, response %d ns", alg, cum, cost.DurNs(rep.Response))
+				}
+			}
+		})
+	}
+}
+
+// TestBlameIdentityRemoteAndSkew covers the remote configuration and a
+// skewed workload — different span/site shapes than the local HPJA runs.
+func TestBlameIdentityRemoteAndSkew(t *testing.T) {
+	h := experiments.NewHarness(testConfig(nil, false))
+	for _, k := range []experiments.RunKey{
+		{Alg: core.Hybrid, Remote: true, HPJA: true, Ratio: 0.5},
+		{Alg: core.Grace, HPJA: true, Ratio: 0.5, Skew: "NU"},
+	} {
+		rep, err := h.Run(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if _, err := profile.FromReport(rep, h.Config().Model); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+// TestWorkloadIdentity extends the identity through the workload engine:
+// wait + spread + nominal buckets == the scheduled response, per query.
+func TestWorkloadIdentity(t *testing.T) {
+	cfg := testConfig(nil, false)
+	h := experiments.NewHarness(cfg)
+	for _, pol := range []sched.Policy{sched.FIFO, sched.Fair, sched.Shrink, sched.ShrinkRevoke} {
+		res, err := h.Workload(experiments.WorkloadConfig{
+			Queries: 6, Policy: pol, MPL: 2, CacheReports: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for i := range res.Queries {
+			qr := &res.Queries[i]
+			p, err := profile.FromQueryResult(qr, cfg.Model)
+			if err != nil {
+				t.Fatalf("%s q%d: %v", pol, qr.ID, err)
+			}
+			if p.BlameTotal() != qr.ResponseNs {
+				t.Errorf("%s q%d: buckets sum to %d ns, response %d ns",
+					pol, qr.ID, p.BlameTotal(), qr.ResponseNs)
+			}
+			if p.QueryID != qr.ID {
+				t.Errorf("%s q%d: profile claims query %d", pol, qr.ID, p.QueryID)
+			}
+			if p.Blame[profile.BucketWait] != qr.WaitNs {
+				t.Errorf("%s q%d: wait bucket %d ns, want %d", pol, qr.ID,
+					p.Blame[profile.BucketWait], qr.WaitNs)
+			}
+			if p.SpreadNs < 0 {
+				t.Errorf("%s q%d: negative contention spread %d ns", pol, qr.ID, p.SpreadNs)
+			}
+		}
+	}
+}
+
+// TestProfileDeterminism: two same-seed executions must profile to
+// byte-identical text and TSV reports.
+func TestProfileDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		cfg := testConfig(&fault.Spec{Seed: 5, DiskReadRate: 0.05}, false)
+		h := experiments.NewHarness(cfg)
+		rep, err := h.Run(experiments.RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profile.FromReport(rep, cfg.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, tsv bytes.Buffer
+		if err := p.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.WriteTSV(&tsv); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), tsv.String()
+	}
+	t1, v1 := render()
+	t2, v2 := render()
+	if t1 != t2 {
+		t.Error("text profiles of two same-seed runs differ")
+	}
+	if v1 != v2 {
+		t.Error("TSV profiles of two same-seed runs differ")
+	}
+}
+
+// TestOfflineRoundTrip: the offline paths must agree with the in-process
+// profile — spans TSV -> Load reproduces FromReport byte-for-byte, and the
+// profile TSV round-trips through ReadTSV.
+func TestOfflineRoundTrip(t *testing.T) {
+	cfg := testConfig(&fault.Spec{Seed: 5, DiskReadRate: 0.05, NetDropRate: 0.02}, false)
+	h := experiments.NewHarness(cfg)
+	rep, err := h.Run(experiments.RunKey{Alg: core.Grace, HPJA: true, Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.FromReport(rep, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := p.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var spans bytes.Buffer
+	if err := rep.Trace.WriteSpansTSV(&spans); err != nil {
+		t.Fatal(err)
+	}
+	fromSpans, err := profile.Load(&spans, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := fromSpans.WriteText(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("profile recomputed from the spans TSV differs from the in-process profile")
+	}
+
+	var tsv bytes.Buffer
+	if err := p.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := profile.Load(&tsv, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Reset()
+	if err := reloaded.WriteText(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("profile TSV did not round-trip")
+	}
+}
+
+// TestDiff exercises the diff report: identical profiles show no movement;
+// different algorithms produce a headline naming a phase and resource.
+func TestDiff(t *testing.T) {
+	cfg := testConfig(nil, false)
+	h := experiments.NewHarness(cfg)
+	repA, err := h.Run(experiments.RunKey{Alg: core.Simple, HPJA: true, Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := h.Run(experiments.RunKey{Alg: core.Hybrid, HPJA: true, Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := profile.FromReport(repA, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := profile.FromReport(repB, cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := profile.Diff(a, a)
+	if h := same.Headline(); h != "" {
+		t.Errorf("self-diff produced a headline: %q", h)
+	}
+	var buf bytes.Buffer
+	if err := same.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "responses identical") {
+		t.Errorf("self-diff text misses the identical marker:\n%s", buf.String())
+	}
+
+	cross := profile.Diff(a, b)
+	head := cross.Headline()
+	if head == "" {
+		t.Fatal("cross-algorithm diff produced no headline")
+	}
+	if !strings.Contains(head, "phase") {
+		t.Errorf("headline names no phase: %q", head)
+	}
+	buf.Reset()
+	if err := cross.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out1 := buf.String()
+	buf.Reset()
+	if err := profile.Diff(a, b).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out1 != buf.String() {
+		t.Error("diff output is not deterministic")
+	}
+}
+
+// TestFaultBucketsFill checks the carve-outs actually fire: a heavy disk
+// fault schedule must move time into fault.retry on at least one run.
+func TestFaultBucketsFill(t *testing.T) {
+	cfg := testConfig(&fault.Spec{Seed: 5, DiskReadRate: 0.2}, false)
+	h := experiments.NewHarness(cfg)
+	var retry cost.SimNs
+	for _, alg := range allAlgs {
+		rep, err := h.Run(experiments.RunKey{Alg: alg, HPJA: true, Ratio: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profile.FromReport(rep, cfg.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retry += p.Blame[profile.BucketRetry]
+	}
+	if retry == 0 {
+		t.Error("20% disk-retry rate moved nothing into fault.retry across all five algorithms")
+	}
+}

@@ -1,0 +1,43 @@
+package profile
+
+import (
+	"fmt"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/sched"
+)
+
+// FromQueryResult profiles one workload query end to end. The single-query
+// profile decomposes the nominal schedule (the query's stand-alone response
+// at its granted memory); the two workload-only buckets account for what the
+// shared machine added on top:
+//
+//	wait   = AdmitNs - ArriveNs          (admission/memory wait)
+//	spread = (FinishNs - AdmitNs) - nominal   (processor-sharing stretch
+//	                                           plus revocation penalties)
+//
+// so the identity extends exactly: wait + spread + nominal buckets ==
+// ResponseNs. Cached reports (experiments.WorkloadConfig.CacheReports) are
+// fine here — the profile reads the report, and the query id comes from the
+// QueryResult, not the possibly-shared trace.
+func FromQueryResult(qr *sched.QueryResult, m *cost.Model) (*Profile, error) {
+	if qr.Report == nil {
+		return nil, fmt.Errorf("profile: query %d carries no report", qr.ID)
+	}
+	p, err := FromReport(qr.Report, m)
+	if err != nil {
+		return nil, fmt.Errorf("profile: query %d: %w", qr.ID, err)
+	}
+	if p.ResponseNs != qr.NominalNs {
+		return nil, fmt.Errorf(
+			"profile: query %d nominal schedule profiles to %d ns but sched recorded %d ns",
+			qr.ID, p.ResponseNs.Nanoseconds(), qr.NominalNs.Nanoseconds())
+	}
+	p.QueryID = qr.ID
+	p.WaitNs = qr.WaitNs
+	p.SpreadNs = qr.ResponseNs - qr.WaitNs - qr.NominalNs
+	p.Blame[BucketWait] = p.WaitNs
+	p.Blame[BucketSpread] = p.SpreadNs
+	p.ResponseNs = qr.ResponseNs
+	return p, nil
+}

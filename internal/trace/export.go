@@ -207,9 +207,16 @@ func (r *Recorder) WriteMetricsTSV(w io.Writer) error {
 
 // WriteFolded emits collapsed stacks ("site;phase;op value" with the value
 // in CPU nanoseconds), the input format of flamegraph.pl and speedscope.
+// Workload queries (QueryID != 0) get a "q<id>" root frame so that folded
+// files from an MPL sweep can be concatenated into one flamegraph without
+// the queries' identically-named sites merging into a single tower.
 func (r *Recorder) WriteFolded(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("trace: recorder disabled")
+	}
+	root := ""
+	if qid := r.QueryID(); qid != 0 {
+		root = fmt.Sprintf("q%d;", qid)
 	}
 	labels := r.SiteLabels()
 	agg := make(map[string]cost.SimNs)
@@ -221,7 +228,7 @@ func (r *Recorder) WriteFolded(w io.Writer) error {
 		if s.Site < len(labels) {
 			label = labels[s.Site]
 		}
-		agg[label+";"+s.PhaseName+";"+s.Op] += s.CPU
+		agg[root+label+";"+s.PhaseName+";"+s.Op] += s.CPU
 	}
 	stacks := make([]string, 0, len(agg))
 	for k := range agg {

@@ -228,6 +228,26 @@ func TestTSVAndFoldedExports(t *testing.T) {
 	}
 }
 
+// TestFoldedQueryRoot: workload queries fold under a q<id> root frame so an
+// MPL sweep's folded files concatenate into one flamegraph without the
+// queries' site frames merging; standalone runs (query 0) stay rootless.
+func TestFoldedQueryRoot(t *testing.T) {
+	r := NewRecorder([]string{"s0"})
+	r.SetQuery(3)
+	r.NewAttempt()
+	r.BeginPhase("sort")
+	r.Start(0, "sort", "solo", -1).Close(&cost.Acct{CPU: 33})
+	r.EndPhase(33, 1)
+
+	var folded strings.Builder
+	if err := r.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimRight(folded.String(), "\n"), "q3;s0;sort;sort 33"; got != want {
+		t.Errorf("folded stack %q, want %q", got, want)
+	}
+}
+
 func TestSiteTotals(t *testing.T) {
 	r := NewRecorder([]string{"s0", "s1"})
 	r.NewAttempt()

@@ -1,7 +1,7 @@
 GO ?= go
 RACE ?=
 
-.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail degrade prof clean
+.PHONY: all build vet lint test race bench bench-baseline bench-sim deflake mpl determinism chaos trace avail degrade prof overload clean
 
 all: build vet test
 
@@ -176,6 +176,37 @@ prof:
 	cmp /tmp/gammajoin-prof-diff-1.txt /tmp/gammajoin-prof-diff-2.txt
 	@echo "prof gate: OK ($$(ls /tmp/gammajoin-prof-1/*.prof.txt | wc -l) profiles byte-identical; offline == in-process)"
 
+# overload is the overload-control gate (docs/SCHEDULER.md, "Overload and
+# shedding"): the goodput-vs-offered-load sweep twice with byte-identical
+# reports required, plus the plateau assertion — past saturation (2x offered
+# load) the no-shed baseline's goodput must fall below half its peak while
+# every shedding policy holds within 10% of its saturation (load 1.00)
+# goodput. Then a deadline + shed + retry-budget workload under the race
+# detector, twice, with report and overload metrics TSV byte-compared.
+OVERLOAD_FLAGS = -exp overload -outer 10000 -inner 1000
+OVERLOAD_WL = -outer 10000 -inner 1000 -mpl 3 -queries 12 -gap 400 \
+	-deadline 30000 -shed-policy largest -queue-cap 4 -retry-budget 4 \
+	-fault-seed 7 -fault-disk 0.02 -retry-backoff 1
+overload:
+	$(GO) run ./cmd/gammabench $(OVERLOAD_FLAGS) > /tmp/gammajoin-overload-1.txt
+	$(GO) run ./cmd/gammabench $(OVERLOAD_FLAGS) > /tmp/gammajoin-overload-2.txt
+	cmp /tmp/gammajoin-overload-1.txt /tmp/gammajoin-overload-2.txt
+	@awk '$$1=="none" { if ($$4+0 > np) np=$$4+0; if ($$2=="2.00") n2=$$4+0 } \
+		$$1=="reject" || $$1=="largest" || $$1=="brownout" { \
+			if ($$2=="1.00") sat[$$1]=$$4+0; if ($$2=="2.00") two[$$1]=$$4+0 } \
+		END { ok = (n2 < 0.5*np); \
+			for (p in sat) if (two[p] < 0.9*sat[p]) { print "overload gate: " p " 2x goodput " two[p] " below 90% of saturation " sat[p]; ok=0 }; \
+			if (ok) printf "overload: plateau holds (no-shed 2x %.3f < half peak %.3f)\n", n2, np; \
+			exit !ok }' /tmp/gammajoin-overload-1.txt \
+		|| { echo "overload gate: plateau assertion failed"; exit 1; }
+	$(GO) run -race ./cmd/gammabench $(OVERLOAD_WL) \
+		-metrics /tmp/gammajoin-overload-m1.tsv > /tmp/gammajoin-overload-w1.txt
+	$(GO) run -race ./cmd/gammabench $(OVERLOAD_WL) \
+		-metrics /tmp/gammajoin-overload-m2.tsv > /tmp/gammajoin-overload-w2.txt
+	cmp /tmp/gammajoin-overload-w1.txt /tmp/gammajoin-overload-w2.txt
+	cmp /tmp/gammajoin-overload-m1.tsv /tmp/gammajoin-overload-m2.tsv
+	@echo "overload gate: OK"
+
 clean:
 	$(GO) clean ./...
 	rm -f /tmp/gammajoin-det-1.txt /tmp/gammajoin-det-2.txt
@@ -189,3 +220,6 @@ clean:
 	rm -f /tmp/gammajoin-degrade-1.txt /tmp/gammajoin-degrade-2.txt
 	rm -rf /tmp/gammajoin-prof-1 /tmp/gammajoin-prof-2 /tmp/gammajoin-prof-spans
 	rm -f /tmp/gammajoin-prof-offline.txt /tmp/gammajoin-prof-diff-1.txt /tmp/gammajoin-prof-diff-2.txt
+	rm -f /tmp/gammajoin-overload-1.txt /tmp/gammajoin-overload-2.txt
+	rm -f /tmp/gammajoin-overload-w1.txt /tmp/gammajoin-overload-w2.txt
+	rm -f /tmp/gammajoin-overload-m1.tsv /tmp/gammajoin-overload-m2.tsv

@@ -57,15 +57,15 @@ func main() {
 		ratio      = flag.Float64("ratio", 0.5, "memory ratio for the -alg run")
 		estError   = flag.Float64("est-error", 0, "corrupt the optimizer's inner-size estimate by this factor (0 or 1 = exact; see docs/SCHEDULER.md, Dynamic Hybrid)")
 		traceOut   = flag.String("trace", "", "with -alg: write the run's Chrome trace_event JSON to this file")
-		metricsOut = flag.String("metrics", "", "with -alg: write the run's per-phase metrics TSV to this file")
+		metricsOut = flag.String("metrics", "", "with -alg or -mpl: write the run's metrics TSV to this file")
 		traceDir   = flag.String("trace-dir", "", "export every experiment run's trace JSON + metrics/spans TSV into this directory")
 		profOut    = flag.String("prof", "", "with -alg: write the run's gammaprof report to this file (text; *.tsv gets the machine-readable profile)")
 		profDir    = flag.String("prof-dir", "", "write every run's gammaprof profile (<slug>.prof.txt + .prof.tsv; with -mpl, q<id>.prof.*) into this directory")
 
-		faultSeed  = flag.Uint64("fault-seed", 0, "fault-schedule seed (enables fault injection with any -fault-* rate)")
-		faultDisk  = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
-		faultNet   = flag.Float64("fault-net", 0, "network packet drop probability per remote packet")
-		faultDup   = flag.Float64("fault-dup", 0, "network packet duplication probability per remote packet")
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault-schedule seed (enables fault injection with any -fault-* rate)")
+		faultDisk     = flag.Float64("fault-disk", 0, "transient disk read-error probability per page read")
+		faultNet      = flag.Float64("fault-net", 0, "network packet drop probability per remote packet")
+		faultDup      = flag.Float64("fault-dup", 0, "network packet duplication probability per remote packet")
 		faultMem      = flag.Float64("fault-mem", 0, "per-phase probability of a memory-budget change at the join sites")
 		faultMemAlias = flag.Float64("fault-mem-pressure", 0, "alias for -fault-mem")
 		faultSwing    = flag.Float64("fault-swing", 0, "per-batch probability of a budget swing (downward revoke or upward re-grant) during a dynamic-Hybrid build")
@@ -80,6 +80,17 @@ func main() {
 		arrivalSeed = flag.Uint64("arrival-seed", 0, "with -mpl: arrival-schedule seed (default: the workload seed)")
 		gapMs       = flag.Float64("gap", 2000, "with -mpl: mean inter-arrival gap in simulated ms")
 		poolMB      = flag.Float64("pool", 0, "with -mpl: join-memory pool in MB (default: 2x the inner relation)")
+
+		deadlineMs  = flag.Float64("deadline", 0, "with -mpl: per-query relative deadline in simulated ms (0 = none; see docs/SCHEDULER.md, Overload and shedding)")
+		shedPolicy  = flag.String("shed-policy", "none", "with -mpl: load-shedding policy (none|reject|largest|brownout)")
+		queueCap    = flag.Int("queue-cap", 0, "with -mpl: bound the admission queue at this many waiters (0 = unbounded; needs -shed-policy)")
+		offeredLoad = flag.Float64("offered-load", 0, "with -mpl: divide the mean arrival gap by this load factor (2 = twice the arrival rate)")
+		shedSeed    = flag.Uint64("shed-seed", 0, "with -mpl: shed-victim tie-break salt")
+		burst       = flag.Float64("burst", 0, "with -mpl: per-arrival probability of a zero-gap arrival burst")
+		burstLen    = flag.Int("burst-len", 0, "with -mpl: arrivals per burst (default 4)")
+
+		retryBudget  = flag.Int64("retry-budget", 0, "per-query fault-retry budget: disk retries and crash restarts consume it; exhausted queries are shed (0 = unlimited)")
+		retryBackoff = flag.Float64("retry-backoff", 0, "base disk-retry backoff in simulated ms, doubled per retry and charged to the paying span")
 	)
 	flag.Parse()
 
@@ -113,7 +124,8 @@ func main() {
 	if *faultMemAlias > *faultMem {
 		*faultMem = *faultMemAlias
 	}
-	if *faultDisk > 0 || *faultNet > 0 || *faultDup > 0 || *faultMem > 0 || *faultSwing > 0 || *faultCrash > 0 {
+	if *faultDisk > 0 || *faultNet > 0 || *faultDup > 0 || *faultMem > 0 || *faultSwing > 0 || *faultCrash > 0 ||
+		*retryBudget > 0 || *retryBackoff > 0 {
 		cfg.Faults = &fault.Spec{
 			Seed:            *faultSeed,
 			DiskReadRate:    *faultDisk,
@@ -122,6 +134,8 @@ func main() {
 			MemPressureRate: *faultMem,
 			BudgetSwingRate: *faultSwing,
 			CrashRate:       *faultCrash,
+			RetryBudget:     *retryBudget,
+			RetryBackoffNs:  int64(*retryBackoff * 1e6),
 		}
 	}
 	cfg.EstError = *estError
@@ -159,7 +173,17 @@ func main() {
 	fmt.Println()
 
 	if *mpl > 0 {
-		if err := runWorkload(h, *mpl, *policy, *queries, *arrivalSeed, *gapMs, *poolMB, *traceDir, *profDir); err != nil {
+		ov := overloadFlags{
+			deadlineMs:  *deadlineMs,
+			shedPolicy:  *shedPolicy,
+			queueCap:    *queueCap,
+			offeredLoad: *offeredLoad,
+			shedSeed:    *shedSeed,
+			burst:       *burst,
+			burstLen:    *burstLen,
+			metricsOut:  *metricsOut,
+		}
+		if err := runWorkload(h, *mpl, *policy, *queries, *arrivalSeed, *gapMs, *poolMB, *traceDir, *profDir, ov); err != nil {
 			fmt.Fprintln(os.Stderr, "gammabench:", err)
 			os.Exit(1)
 		}
@@ -240,31 +264,73 @@ func parseAlg(name string) (core.Algorithm, error) {
 	}
 }
 
+// overloadFlags bundles the -mpl overload-control flags.
+type overloadFlags struct {
+	deadlineMs  float64
+	shedPolicy  string
+	queueCap    int
+	offeredLoad float64
+	shedSeed    uint64
+	burst       float64
+	burstLen    int
+	metricsOut  string
+}
+
 // runWorkload runs a multi-query workload through the admission engine and
 // prints its deterministic report. With -trace-dir, every query's timeline
 // is exported as q<id>.trace.json / q<id>.spans.tsv — the per-query process
-// tracks merge in Perfetto into one multi-query timeline.
-func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int, arrivalSeed uint64, gapMs, poolMB float64, traceDir, profDir string) error {
+// tracks merge in Perfetto into one multi-query timeline. With -metrics, the
+// engine's admission metrics (sched.shed, sched.timeout, sched.queue.depth)
+// are exported in the same TSV schema as the per-query recovery metrics.
+func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int, arrivalSeed uint64, gapMs, poolMB float64, traceDir, profDir string, ov overloadFlags) error {
 	pol, err := sched.ParsePolicy(policyName)
 	if err != nil {
 		return err
 	}
+	shed, err := sched.ParseShedPolicy(ov.shedPolicy)
+	if err != nil {
+		return err
+	}
+	gap := gapMs * 1e6
+	if ov.offeredLoad > 0 {
+		gap /= ov.offeredLoad
+	}
 	res, err := h.Workload(experiments.WorkloadConfig{
 		Queries:     queries,
 		ArrivalSeed: arrivalSeed,
-		MeanGap:     time.Duration(gapMs * 1e6),
+		MeanGap:     time.Duration(gap),
 		Policy:      pol,
 		MPL:         mpl,
 		PoolBytes:   int64(poolMB * (1 << 20)),
 		// Per-query trace exports need each query's own recorder, so the
 		// per-(shape,grant) report cache must stay off here.
 		CacheReports: false,
+		Deadline:     time.Duration(ov.deadlineMs * 1e6),
+		Shed:         shed,
+		QueueCap:     ov.queueCap,
+		ShedSeed:     ov.shedSeed,
+		BurstRate:    ov.burst,
+		BurstLen:     ov.burstLen,
 	})
 	if err != nil {
 		return err
 	}
 	if err := res.WriteText(os.Stdout); err != nil {
 		return err
+	}
+	if ov.metricsOut != "" {
+		f, err := os.Create(ov.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Metrics.WriteTSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing workload metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "workload metrics written to %s\n", ov.metricsOut)
 	}
 	writeAll := func(outs []struct {
 		path string
@@ -290,6 +356,9 @@ func runWorkload(h *experiments.Harness, mpl int, policyName string, queries int
 			return err
 		}
 		for _, q := range res.Queries {
+			if q.Report == nil {
+				continue // shed before admission: no execution, no timeline
+			}
 			rec := q.Report.Trace
 			if err := writeAll([]struct {
 				path string

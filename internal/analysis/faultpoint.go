@@ -35,11 +35,20 @@ const faultPointDirective = "gammavet:faultpoint"
 // call it.
 var faultOwners = map[string]string{
 	"ReadRetries":      "internal/disk",
+	"RetryBackoffNs":   "internal/disk",
 	"PacketFate":       "internal/netsim",
 	"MemFactor":        "internal/core",
 	"BudgetSwing":      "internal/core",
 	"CrashSiteAt":      "internal/core",
 	"DetectExtraBeats": "internal/netsim",
+	// The retry budget is scoped and consumed by the query runner; reading
+	// it elsewhere would race the per-query reset. (BudgetUsed is a plain
+	// accessor, reported after the run, and stays unrestricted.)
+	"BeginQueryBudget": "internal/core",
+	"ConsumeRestart":   "internal/core",
+	"BudgetExhausted":  "internal/core",
+	// Arrival bursts shape the workload generator's arrival schedule.
+	"ArrivalBurst": "internal/sched",
 }
 
 func runFaultPoint(p *Pass) error {

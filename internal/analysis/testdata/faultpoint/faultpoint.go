@@ -38,6 +38,36 @@ func stolenDetect(r *fault.Registry) int {
 	return r.DetectExtraBeats(3) // want `fault.Registry.DetectExtraBeats consumed outside internal/netsim`
 }
 
+// stolenBackoff prices a retry wait outside internal/disk.
+func stolenBackoff(r *fault.Registry) int64 {
+	return r.RetryBackoffNs(2) // want `fault.Registry.RetryBackoffNs consumed outside internal/disk`
+}
+
+// stolenBudgetScope resets the retry budget outside internal/core.
+func stolenBudgetScope(r *fault.Registry) {
+	r.BeginQueryBudget() // want `fault.Registry.BeginQueryBudget consumed outside internal/core`
+}
+
+// stolenRestartCharge charges a restart outside internal/core.
+func stolenRestartCharge(r *fault.Registry) {
+	r.ConsumeRestart() // want `fault.Registry.ConsumeRestart consumed outside internal/core`
+}
+
+// stolenBudgetCheck polls exhaustion outside internal/core.
+func stolenBudgetCheck(r *fault.Registry) bool {
+	return r.BudgetExhausted() // want `fault.Registry.BudgetExhausted consumed outside internal/core`
+}
+
+// stolenBurst rolls the arrival-burst schedule outside internal/sched.
+func stolenBurst(r *fault.Registry) int {
+	return r.ArrivalBurst(0) // want `fault.Registry.ArrivalBurst consumed outside internal/sched`
+}
+
+// budgetUsedAccess is unrestricted: a post-run accounting read, like Spec.
+func budgetUsedAccess(r *fault.Registry) int64 {
+	return r.BudgetUsed()
+}
+
 // justifiedProbe carries the directive, as a registry-probing test would.
 func justifiedProbe(r *fault.Registry) int {
 	return r.ReadRetries(0, 1) //gammavet:faultpoint probing the schedule directly

@@ -15,11 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"gammajoin/internal/bitfilter"
 	"gammajoin/internal/cost"
 	"gammajoin/internal/disk"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/netsim"
 	"gammajoin/internal/pred"
@@ -153,7 +155,38 @@ type Spec struct {
 	// temp-file names so concurrent queries of the same shape never collide
 	// in the simulated file system. 0 means a standalone query.
 	QueryID int
+
+	// DeadlineNs cancels the join once its simulated response time reaches
+	// this many nanoseconds. The check happens at phase barriers against
+	// the trace recorder's virtual clock — the same deterministic boundary
+	// injected crashes fire at — so two runs of the same spec cancel at
+	// the same phase, byte for byte. Run then unwinds cleanly (temp files
+	// dropped, spans closed, a "cancel" instant on the timeline) and
+	// returns ErrDeadlineExceeded. 0 means no deadline.
+	DeadlineNs cost.SimNs
+
+	// Cancel, when non-nil, is an external mid-join cancel signal. Phase
+	// workers poll it between work items, so an async Cancel() stops the
+	// join mid-phase; the error surfaces at the phase barrier as
+	// ErrQueryCanceled. Unlike DeadlineNs, the *timing* of an external
+	// cancel is inherently nondeterministic — canceled runs return no
+	// report, so nothing byte-compared ever observes the difference.
+	Cancel *CancelToken
 }
+
+// CancelToken is a level-triggered cancel signal. The zero value is ready to
+// use; a nil *CancelToken never fires.
+type CancelToken struct{ fired atomic.Bool }
+
+// Cancel trips the token. Idempotent and safe from any goroutine.
+func (t *CancelToken) Cancel() {
+	if t != nil {
+		t.fired.Store(true)
+	}
+}
+
+// Canceled reports whether Cancel has been called.
+func (t *CancelToken) Canceled() bool { return t != nil && t.fired.Load() }
 
 // Report describes one executed join.
 type Report struct {
@@ -236,6 +269,11 @@ type Report struct {
 	MirrorReads    cost.Pages
 	DetectionDelay time.Duration
 
+	// RetryBudgetUsed is how many priced retry units (disk retries, crash
+	// restarts; see fault.Spec.RetryBudget) this query consumed. Reported
+	// even when no budget cap is configured.
+	RetryBudgetUsed int64
+
 	// Trace is the execution's simulated-time timeline: one span per
 	// operator process per phase (abandoned attempts included), fault
 	// events, and the per-phase metrics registry. See docs/OBSERVABILITY.md
@@ -249,6 +287,18 @@ func (r *Report) FormingLocalFrac() float64 { return r.Forming.LocalFraction() }
 // ErrSiteFailed is the sentinel wrapped by every SiteFailure, so callers
 // can errors.Is(err, ErrSiteFailed) without knowing the concrete type.
 var ErrSiteFailed = errors.New("core: site failed")
+
+// ErrQueryCanceled is the sentinel every cancellation path wraps: external
+// CancelToken fires, spec deadlines, and (via fault.ErrRetryBudgetExhausted
+// remaining inspectable separately) budget escalations all leave Run with
+// errors.Is(err, ErrQueryCanceled) == true for the first two. The workload
+// engine sheds on it instead of failing the workload.
+var ErrQueryCanceled = errors.New("core: query canceled")
+
+// ErrDeadlineExceeded marks a deadline-triggered cancellation; it wraps
+// ErrQueryCanceled so callers that only care about "did it unwind early"
+// need a single errors.Is.
+var ErrDeadlineExceeded = fmt.Errorf("deadline exceeded: %w", ErrQueryCanceled)
 
 // SiteFailure reports an (injected) crash of one join site at a phase
 // boundary. Run catches it internally and restarts the query without the
@@ -297,6 +347,10 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 	// engine's admission goroutines.
 	c.AcquireRun()
 	defer c.ReleaseRun()
+	// The retry budget is per query: reset it under the run lock so one
+	// registry shared by a whole workload prices each query separately.
+	// The budget spans restart attempts within this Run.
+	c.Faults.BeginQueryBudget()
 	// One recorder spans every attempt: its virtual clock keeps running
 	// through restarts, so abandoned attempts stay visible on the timeline
 	// as the wasted work they were.
@@ -323,6 +377,11 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 		default:
 			return nil, fmt.Errorf("core: unknown algorithm %v", spec.Alg)
 		}
+		// Every attempt's temp files are dead at this barrier — the attempt
+		// either finished with them consumed, is about to restart from
+		// scratch, or is unwinding on cancel. Dropping them here keeps the
+		// cluster's live-file ledger empty on every exit path.
+		rc.dropTempFiles()
 		// Accumulate the ladder's middle-rung stats whether or not the
 		// attempt survived — failovers absorbed before a later escalation
 		// still happened.
@@ -349,6 +408,13 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 			if restarts > len(c.Sites) {
 				return nil, fmt.Errorf("core: giving up after %d restarts: %w", restarts, err)
 			}
+			// A restart is the priciest recovery: charge it against the
+			// query's retry budget and escalate to shed if that overdraws.
+			c.Faults.ConsumeRestart()
+			if c.Faults.BudgetExhausted() {
+				rec.Instant(sf.Site, "cancel", fmt.Sprintf("retry budget exhausted after %d restarts", restarts))
+				return nil, fmt.Errorf("core: giving up after %d restarts: %w", restarts, fault.ErrRetryBudgetExhausted)
+			}
 			alive := withoutSite(rc.joinSites, sf.Site)
 			if len(alive) == 0 {
 				return nil, fmt.Errorf("core: no join sites survive: %w", err)
@@ -360,6 +426,7 @@ func Run(c *gamma.Cluster, spec Spec) (*Report, error) {
 			return nil, err
 		}
 		rep := rc.report()
+		rep.RetryBudgetUsed = c.Faults.BudgetUsed()
 		rep.Restarts = restarts
 		rep.DeadSites = dead
 		rep.WastedWork = wasted + rc.wastedRedo

@@ -10,6 +10,7 @@ import (
 
 	"gammajoin/internal/cost"
 	"gammajoin/internal/disk"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
 	"gammajoin/internal/netsim"
 	"gammajoin/internal/pred"
@@ -89,6 +90,13 @@ type runCtx struct {
 	// result store state per disk site
 	storeCount map[int]*int64
 	fileSeq    int
+
+	// tempFiles lists the temp wiss files this attempt created (by their
+	// registered name), so every Run exit path — success, restart, cancel
+	// — can drop them from the cluster's live-file ledger. Appended only
+	// from coordinator code (newTempFile runs between phases), like
+	// fileSeq.
+	tempFiles []string
 
 	// Recovery-ladder state for this attempt (docs/FAULTS.md). failover
 	// moves a crashed site's roles to its ring neighbor instead of
@@ -384,7 +392,46 @@ func (rc *runCtx) newTempFile(name string, site int) (*wiss.File, error) {
 	if rc.spec.QueryID != 0 {
 		name = fmt.Sprintf("q%d.%s", rc.spec.QueryID, name)
 	}
-	return wiss.NewFile(fmt.Sprintf("%s#%d", name, rc.fileSeq), d, rc.m), nil
+	full := fmt.Sprintf("%s#%d", name, rc.fileSeq)
+	rc.c.RegisterTempFile(full)
+	rc.tempFiles = append(rc.tempFiles, full)
+	return wiss.NewFile(full, d, rc.m), nil
+}
+
+// dropTempFiles deletes every temp file this attempt created from the
+// cluster's live-file ledger. Run calls it at the end of every attempt —
+// success, restart, or cancellation — so Cluster.LiveTempFiles is empty
+// whenever no query is mid-flight.
+func (rc *runCtx) dropTempFiles() {
+	for _, name := range rc.tempFiles {
+		rc.c.DropTempFile(name)
+	}
+	rc.tempFiles = nil
+}
+
+// canceled reports whether this execution should stop: the external cancel
+// token fired, or the query's simulated response has reached its deadline.
+// The deadline compares against the trace recorder's virtual clock, which
+// only advances at phase barriers — so deadline cancellation is a pure
+// function of the schedule and fires at the same barrier in every run,
+// while an external Cancel() is observed between work items wherever the
+// goroutine schedule happens to be (canceled runs return no report, so
+// nothing byte-compared sees that difference).
+func (rc *runCtx) canceled() bool {
+	if rc.spec.Cancel.Canceled() {
+		return true
+	}
+	d := rc.spec.DeadlineNs
+	return d > 0 && rc.tr.Now() >= d
+}
+
+// cancelErr builds the cancellation error, preferring the deadline cause
+// when both apply. Both wrap ErrQueryCanceled.
+func (rc *runCtx) cancelErr() error {
+	if d := rc.spec.DeadlineNs; d > 0 && rc.tr.Now() >= d {
+		return fmt.Errorf("core: query %d at %v: %w", rc.spec.QueryID, rc.tr.Now().Dur(), ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("core: query %d: %w", rc.spec.QueryID, ErrQueryCanceled)
 }
 
 // producerFn produces tuples into the phase's first exchange via snd.
@@ -507,6 +554,22 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 		rc.tr.Instant(site, "crash", ps.name)
 		return &SiteFailure{Site: site, Phase: ps.name}
 	}
+	// Cancellation surfaces at the same deterministic boundary: the
+	// scheduler declines to start the next phase's operators once the
+	// deadline has passed (or an external cancel fired between phases).
+	if rc.canceled() {
+		err := rc.cancelErr()
+		rc.tr.Instant(rc.joinSites[0], "cancel", fmt.Sprintf("entering %q: %v", ps.name, err))
+		return err
+	}
+	// A query that overdrew its retry budget during the previous phase is
+	// aborted here — the tally is an order-independent sum, so the barrier
+	// is the first point where acting on it is deterministic.
+	if rc.c.Faults.BudgetExhausted() {
+		rc.tr.Instant(rc.joinSites[0], "cancel",
+			fmt.Sprintf("retry budget exhausted (%d units) entering %q", rc.c.Faults.BudgetUsed(), ps.name))
+		return fmt.Errorf("core: query %d entering %q: %w", rc.spec.QueryID, ps.name, fault.ErrRetryBudgetExhausted)
+	}
 	name := ps.name
 	if rc.redoMark {
 		name += " (redo)"
@@ -526,7 +589,14 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 			a := p.Acct(exec)
 			sp := rc.tr.Start(exec, ps.op("write"), "write", bucket)
 			defer sp.Close(a)
-			fn(a, drainSorted(rc.c.Net, a, ex2.Chan(site)))
+			// Drain unconditionally (upstream must never block on a full
+			// exchange), then skip the work if a cancel fired mid-phase.
+			batches := drainSorted(rc.c.Net, a, ex2.Chan(site))
+			if rc.canceled() {
+				rc.fail(rc.cancelErr())
+				return
+			}
+			fn(a, batches)
 		}(site, exec, fn)
 	}
 
@@ -541,7 +611,12 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 			sp := rc.tr.Start(exec, ps.op("consume"), "consume", bucket)
 			defer sp.Close(a)
 			snd := rc.newPhaseSender(a, site, ex2.Deliver)
-			fn(a, snd, drainSorted(rc.c.Net, a, ex1.Chan(site)))
+			batches := drainSorted(rc.c.Net, a, ex1.Chan(site))
+			if rc.canceled() {
+				rc.fail(rc.cancelErr())
+			} else {
+				fn(a, snd, batches)
+			}
 			snd.FlushAll()
 		}(site, exec, fn)
 	}
@@ -558,6 +633,13 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 			defer sp.Close(a)
 			snd := rc.newPhaseSender(a, site, ex1.Deliver)
 			for _, fn := range fns {
+				// Poll the cancel signal between work items: an external
+				// cancel stops the scan flow here, mid-phase, and the
+				// error surfaces at the barrier.
+				if rc.canceled() {
+					rc.fail(rc.cancelErr())
+					break
+				}
 				fn(a, snd)
 			}
 			snd.FlushAll()
@@ -574,6 +656,10 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 			sp := rc.tr.Start(exec, ps.op("solo"), "solo", bucket)
 			defer sp.Close(a)
 			for _, fn := range fns {
+				if rc.canceled() {
+					rc.fail(rc.cancelErr())
+					break
+				}
 				fn(a)
 			}
 		}(exec, fns)

@@ -1,0 +1,86 @@
+package disk
+
+import (
+	"testing"
+
+	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
+)
+
+// Backoff pricing (docs/FAULTS.md, "Retry budgets"): each transient-read
+// retry charges the re-read as a fresh random access PLUS the exponential
+// backoff wait the registry prices, both as typed disk time on the paying
+// span — waiting out a flaky arm holds the operator process just like the
+// re-read does.
+
+// TestBackoffChargedAsDiskTime: with rate 1 and max 3 retries at base
+// backoff 100ns, one read pays 3 extra random pages plus 100+200+400ns of
+// backoff, all on Acct.Disk, with a disk.backoff note per wait.
+func TestBackoffChargedAsDiskTime(t *testing.T) {
+	m := cost.Default()
+	d := New(0, m)
+	d.SetFaults(fault.NewRegistry(fault.Spec{
+		Seed: 1, DiskReadRate: 1, DiskMaxRetries: 3, RetryBackoffNs: 100,
+	}))
+	var a cost.Acct
+	d.ReadSeq(&a, 5)
+	want := m.FileSwitch + m.SeqPage + 3*m.RandPage + cost.Ns(100+200+400)
+	if a.Disk != want {
+		t.Fatalf("Disk time = %d, want %d (page + 3 retries + doubling backoff)", a.Disk, want)
+	}
+	if a.CPU != 0 || a.Net != 0 {
+		t.Errorf("backoff leaked into CPU/Net: %d/%d", a.CPU, a.Net)
+	}
+	var backoffs []int64
+	for _, ev := range a.Events {
+		if ev.Kind == "disk.backoff" {
+			backoffs = append(backoffs, ev.Detail)
+		}
+	}
+	if len(backoffs) != 3 || backoffs[0] != 100 || backoffs[1] != 200 || backoffs[2] != 400 {
+		t.Errorf("disk.backoff notes = %v, want [100 200 400]", backoffs)
+	}
+}
+
+// TestBackoffOffIsFree: with RetryBackoffNs 0 the same fault schedule
+// charges only the re-reads — no wait, no notes.
+func TestBackoffOffIsFree(t *testing.T) {
+	m := cost.Default()
+	withSpec := func(backoffNs int64) cost.Acct {
+		d := New(0, m)
+		d.SetFaults(fault.NewRegistry(fault.Spec{
+			Seed: 1, DiskReadRate: 1, DiskMaxRetries: 2, RetryBackoffNs: backoffNs,
+		}))
+		var a cost.Acct
+		d.ReadSeq(&a, 5)
+		return a
+	}
+	off, on := withSpec(0), withSpec(50)
+	if diff := on.Disk - off.Disk; diff != cost.Ns(50+100) {
+		t.Errorf("backoff pricing added %d, want exactly 150ns of wait", diff)
+	}
+	for _, ev := range off.Events {
+		if ev.Kind == "disk.backoff" {
+			t.Error("unpriced run emitted a disk.backoff note")
+		}
+	}
+}
+
+// TestMirrorReadPaysBackoffToo: failover reads off the backup arm roll the
+// same (primary-keyed) dice and pay the same backoff pricing.
+func TestMirrorReadPaysBackoffToo(t *testing.T) {
+	m := cost.Default()
+	d := New(0, m)
+	b := New(8, m)
+	d.SetBackup(b)
+	d.SetFaults(fault.NewRegistry(fault.Spec{
+		Seed: 1, DiskReadRate: 1, DiskMaxRetries: 2, RetryBackoffNs: 100,
+	}))
+	d.SetDown(true)
+	var a cost.Acct
+	d.ReadSeq(&a, 5) // fails over to the mirror
+	want := m.RandPage + 2*m.RandPage + cost.Ns(100+200)
+	if a.Disk != want {
+		t.Fatalf("failover Disk time = %d, want %d (mirror page + 2 retries + backoff)", a.Disk, want)
+	}
+}

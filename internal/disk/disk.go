@@ -68,7 +68,10 @@ func (d *Disk) Down() bool { return d.down.Load() }
 
 // retryFaults rolls for transient read errors and charges each retry as a
 // fresh random access (the arm has lost its streaming position, so the
-// re-read pays a seek).
+// re-read pays a seek), plus the exponential backoff wait the registry
+// prices for consecutive failures of one operation. The backoff lands on
+// the paying span as typed disk time — waiting out a flaky arm holds the
+// operator process just like the re-read does.
 func (d *Disk) retryFaults(a *cost.Acct, fileID int64) {
 	n := d.faults.ReadRetries(d.id, fileID)
 	for i := 0; i < n; i++ {
@@ -76,6 +79,10 @@ func (d *Disk) retryFaults(a *cost.Acct, fileID int64) {
 		d.pagesRead.Add(1)
 		a.AddDisk(d.model.RandPage)
 		a.Note("disk.retry", fileID)
+		if b := d.faults.RetryBackoffNs(i); b > 0 {
+			a.AddDisk(cost.Ns(b))
+			a.Note("disk.backoff", b)
+		}
 	}
 }
 
@@ -116,6 +123,10 @@ func (d *Disk) mirrorRead(a *cost.Acct, fileID int64) {
 		d.backup.pagesRead.Add(1)
 		a.AddDisk(d.model.RandPage)
 		a.Note("disk.retry", fileID)
+		if b := d.faults.RetryBackoffNs(i); b > 0 {
+			a.AddDisk(cost.Ns(b))
+			a.Note("disk.backoff", b)
+		}
 	}
 }
 

@@ -47,6 +47,7 @@ var Catalog = []Entry{
 	{"ext-multiuser", one((*Harness).ExtMultiuser)},
 	{"mpl-sweep", one((*Harness).MPLSweep)},
 	{"degrade", one((*Harness).DegradationCurve)},
+	{"overload", one((*Harness).GoodputCurve)},
 }
 
 // Find returns the catalog entry with the given name.

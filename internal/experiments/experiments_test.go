@@ -392,8 +392,11 @@ func TestDegradationCurve(t *testing.T) {
 }
 
 func TestCatalogAndFind(t *testing.T) {
-	if len(Catalog) != 25 {
+	if len(Catalog) != 26 {
 		t.Fatalf("catalog has %d entries", len(Catalog))
+	}
+	if _, err := Find("overload"); err != nil {
+		t.Fatal(err)
 	}
 	if _, err := Find("fig5"); err != nil {
 		t.Fatal(err)

@@ -41,6 +41,19 @@ type WorkloadConfig struct {
 	// first query's id in their trace, so leave this off when exporting
 	// per-query timelines.
 	CacheReports bool
+
+	// Overload knobs (docs/SCHEDULER.md, "Overload and shedding"). Zero
+	// values reproduce the pre-overload engine byte for byte.
+	Deadline time.Duration    // per-query relative deadline; 0 = none
+	Shed     sched.ShedPolicy // load-shedding policy
+	QueueCap int              // admission-queue bound; 0 = unbounded
+	ShedSeed uint64           // shed-victim tie-break salt
+
+	// BurstRate/BurstLen make the workload generator collapse runs of
+	// inter-arrival gaps to zero — seeded arrival bursts for the bounded
+	// admission queue.
+	BurstRate float64
+	BurstLen  int
 }
 
 // workKey identifies one cacheable workload execution: the query shape plus
@@ -162,6 +175,9 @@ func (h *Harness) GenWorkloadQueries(wc WorkloadConfig) []*sched.Query {
 		OuterBytes:      int64(h.cfg.OuterN) * tuple.Bytes,
 		SmallInnerBytes: int64(h.cfg.InnerN/2) * tuple.Bytes,
 		SmallOuterBytes: int64(h.cfg.OuterN/2) * tuple.Bytes,
+		DeadlineNs:      cost.DurNs(wc.Deadline),
+		BurstRate:       wc.BurstRate,
+		BurstLen:        wc.BurstLen,
 	})
 }
 
@@ -170,11 +186,14 @@ func (h *Harness) GenWorkloadQueries(wc WorkloadConfig) []*sched.Query {
 func (h *Harness) Workload(wc WorkloadConfig) (*sched.Result, error) {
 	wc = wc.withDefaults(h)
 	eng, err := sched.New(sched.Config{
-		Pool:   gamma.NewMemPool(wc.PoolBytes),
-		Policy: wc.Policy,
-		MPL:    wc.MPL,
-		Model:  h.cfg.Model,
-		Exec:   h.workloadExec(wc),
+		Pool:     gamma.NewMemPool(wc.PoolBytes),
+		Policy:   wc.Policy,
+		MPL:      wc.MPL,
+		Model:    h.cfg.Model,
+		Exec:     h.workloadExec(wc),
+		QueueCap: wc.QueueCap,
+		Shed:     wc.Shed,
+		ShedSeed: wc.ShedSeed,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// Retry budgets (docs/FAULTS.md, "Retry budgets"): disk retries and crash
+// restarts consume priced units from a per-query budget; an overdrawn query
+// fails with ErrRetryBudgetExhausted and is shed, not retried forever.
+
+// TestRetryBudgetAccounting: every disk retry adds one unit, every restart
+// adds RestartCost units, and BeginQueryBudget resets the tally.
+func TestRetryBudgetAccounting(t *testing.T) {
+	r := NewRegistry(Spec{
+		Seed: 1, DiskReadRate: 1, DiskMaxRetries: 3,
+		RetryBudget: 100, RestartCost: 25,
+	})
+	r.BeginQueryBudget()
+	if got := r.BudgetUsed(); got != 0 {
+		t.Fatalf("fresh budget used = %d, want 0", got)
+	}
+	n := r.ReadRetries(0, 7) // rate 1: maxes out at 3
+	if n != 3 {
+		t.Fatalf("ReadRetries = %d, want 3", n)
+	}
+	if got := r.BudgetUsed(); got != 3 {
+		t.Errorf("after 3 retries: used = %d, want 3", got)
+	}
+	r.ConsumeRestart()
+	if got := r.BudgetUsed(); got != 28 {
+		t.Errorf("after a restart: used = %d, want 28 (3 + RestartCost 25)", got)
+	}
+	if r.BudgetExhausted() {
+		t.Error("budget 100 exhausted at 28 units")
+	}
+	r.BeginQueryBudget()
+	if got := r.BudgetUsed(); got != 0 {
+		t.Errorf("BeginQueryBudget did not reset: used = %d", got)
+	}
+}
+
+// TestRetryBudgetExhaustion: the budget is a hard cap — reaching it flips
+// BudgetExhausted; with RetryBudget 0 it never flips.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 1, RetryBudget: 2, RestartCost: 1})
+	r.BeginQueryBudget()
+	r.ConsumeRestart()
+	if r.BudgetExhausted() {
+		t.Fatal("exhausted at 1 of 2 units")
+	}
+	r.ConsumeRestart()
+	if !r.BudgetExhausted() {
+		t.Fatal("not exhausted at 2 of 2 units")
+	}
+
+	unlimited := NewRegistry(Spec{Seed: 1, RestartCost: 1})
+	for i := 0; i < 1000; i++ {
+		unlimited.ConsumeRestart()
+	}
+	if unlimited.BudgetExhausted() {
+		t.Error("RetryBudget 0 must mean unlimited")
+	}
+	var nilReg *Registry
+	if nilReg.BudgetExhausted() || nilReg.BudgetUsed() != 0 {
+		t.Error("nil registry must report an untouched budget")
+	}
+	nilReg.BeginQueryBudget() // must not panic
+	nilReg.ConsumeRestart()
+}
+
+// TestRetryBackoffDoubles: the i-th retry of one operation waits
+// RetryBackoffNs << i simulated nanoseconds; 0 disables the pricing.
+func TestRetryBackoffDoubles(t *testing.T) {
+	r := NewRegistry(Spec{Seed: 1, RetryBackoffNs: 100})
+	for i, want := range []int64{100, 200, 400, 800} {
+		if got := r.RetryBackoffNs(i); got != want {
+			t.Errorf("backoff(%d) = %d, want %d", i, got, want)
+		}
+	}
+	off := NewRegistry(Spec{Seed: 1})
+	if got := off.RetryBackoffNs(3); got != 0 {
+		t.Errorf("unpriced backoff = %d, want 0", got)
+	}
+	var nilReg *Registry
+	if got := nilReg.RetryBackoffNs(0); got != 0 {
+		t.Errorf("nil backoff = %d, want 0", got)
+	}
+}
+
+// TestErrRetryBudgetExhaustedSentinel: the sentinel must survive wrapping —
+// sched matches it with errors.Is to shed instead of failing the workload.
+func TestErrRetryBudgetExhaustedSentinel(t *testing.T) {
+	wrapped := errorsJoin(ErrRetryBudgetExhausted)
+	if !errors.Is(wrapped, ErrRetryBudgetExhausted) {
+		t.Error("wrapped sentinel lost its identity")
+	}
+}
+
+func errorsJoin(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ err error }
+
+func (w *wrapErr) Error() string { return "query 3: " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }
+
+// TestArrivalBurstDeterministic: same spec, same burst schedule; rate 0
+// never bursts; the default burst length is 4.
+func TestArrivalBurstDeterministic(t *testing.T) {
+	spec := Spec{Seed: 9, ArrivalBurstRate: 0.3}
+	a, b := NewRegistry(spec), NewRegistry(spec)
+	bursts := 0
+	for i := 0; i < 200; i++ {
+		la, lb := a.ArrivalBurst(i), b.ArrivalBurst(i)
+		if la != lb {
+			t.Fatalf("arrival %d: burst %d vs %d", i, la, lb)
+		}
+		if la > 0 {
+			bursts++
+			if la != 4 {
+				t.Fatalf("arrival %d: burst length %d, want the default 4", i, la)
+			}
+		}
+	}
+	if bursts == 0 {
+		t.Error("rate 0.3 produced no bursts in 200 arrivals")
+	}
+	off := NewRegistry(Spec{Seed: 9})
+	for i := 0; i < 50; i++ {
+		if off.ArrivalBurst(i) != 0 {
+			t.Fatal("rate 0 must never burst")
+		}
+	}
+	custom := NewRegistry(Spec{Seed: 9, ArrivalBurstRate: 1, ArrivalBurstLen: 7})
+	if got := custom.ArrivalBurst(0); got != 7 {
+		t.Errorf("custom burst length = %d, want 7", got)
+	}
+}

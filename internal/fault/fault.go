@@ -20,10 +20,17 @@
 package fault
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 
 	"gammajoin/internal/xrand"
 )
+
+// ErrRetryBudgetExhausted is the sentinel a query fails with when its
+// priced retry budget runs out; the workload engine (internal/sched)
+// recognizes it and sheds the query instead of failing the workload.
+var ErrRetryBudgetExhausted = errors.New("fault: retry budget exhausted")
 
 // Fault-kind salts keep the hash streams for different decision types
 // disjoint even when their identifying coordinates collide.
@@ -37,6 +44,7 @@ const (
 	kindDetect   = 0xDE7E_0000_0000_0007
 	kindSwing    = 0x5319_0000_0000_0008
 	kindSwingDir = 0x5319_0000_0000_0009
+	kindBurst    = 0xB0A5_0000_0000_000A
 )
 
 // CrashPoint pins a single injected site crash to an exact phase ordinal
@@ -101,6 +109,32 @@ type Spec struct {
 	// site down (a heartbeat raced the crash and was counted). It perturbs
 	// only DetectionDelay, never the join result.
 	DetectJitterRate float64
+
+	// RetryBudget caps the priced retry units one query may consume across
+	// all its fault recoveries: each disk-read retry costs one unit, each
+	// crash restart costs RestartCost units (default 8). 0 means unlimited
+	// — the pre-budget behavior. Consumption is tallied as retries happen
+	// but exhaustion is only *acted on* at phase barriers (the tally is an
+	// order-independent sum, so the abort point is deterministic); the
+	// runner then fails the query with ErrRetryBudgetExhausted and the
+	// workload engine sheds it instead of letting a hot injector livelock
+	// the machine.
+	RetryBudget int64
+	RestartCost int64
+
+	// RetryBackoffNs prices the waiting a real system would do between
+	// retry attempts: the i-th consecutive retry of one operation charges
+	// an exponential backoff of RetryBackoffNs << i simulated nanoseconds
+	// to the paying span, on top of the re-read itself. 0 charges nothing
+	// (the pre-backoff behavior).
+	RetryBackoffNs int64
+
+	// ArrivalBurstRate is the per-arrival probability that the workload
+	// generator (internal/sched) collapses the next ArrivalBurstLen gaps
+	// to zero — a burst of simultaneous arrivals, the stress input for the
+	// bounded admission queue. ArrivalBurstLen defaults to 4.
+	ArrivalBurstRate float64
+	ArrivalBurstLen  int
 }
 
 // Registry hands out fault decisions for one Spec. A nil *Registry is
@@ -111,6 +145,12 @@ type Registry struct {
 	mu      sync.Mutex
 	fileOps map[fileKey]uint64
 	crashes int
+
+	// budgetUsed tallies priced retry units for the current query; it is
+	// an atomic because disk workers consume units mid-phase, and a plain
+	// sum is order-independent so the barrier-time exhaustion check stays
+	// deterministic.
+	budgetUsed atomic.Int64
 }
 
 type fileKey struct {
@@ -137,6 +177,12 @@ func NewRegistry(spec Spec) *Registry {
 	}
 	if spec.MaxCrashes <= 0 {
 		spec.MaxCrashes = 1
+	}
+	if spec.RestartCost <= 0 {
+		spec.RestartCost = 8
+	}
+	if spec.ArrivalBurstLen <= 0 {
+		spec.ArrivalBurstLen = 4
 	}
 	return &Registry{spec: spec, fileOps: make(map[fileKey]uint64)}
 }
@@ -181,7 +227,75 @@ func (r *Registry) ReadRetries(site int, fileID int64) int {
 		}
 		retries++
 	}
+	r.budgetUsed.Add(int64(retries))
 	return retries
+}
+
+// RetryBackoffNs prices the backoff wait before the i-th (0-based) retry of
+// one operation: RetryBackoffNs << i simulated nanoseconds, doubling per
+// consecutive failure. Returns 0 when backoff pricing is disabled. The
+// caller (internal/disk) charges it as typed cost on the paying span.
+func (r *Registry) RetryBackoffNs(retry int) int64 {
+	if r == nil || r.spec.RetryBackoffNs <= 0 {
+		return 0
+	}
+	if retry > 32 {
+		retry = 32 // clamp the shift; no real chain gets near this
+	}
+	return r.spec.RetryBackoffNs << retry
+}
+
+// BeginQueryBudget scopes the retry budget to a fresh query: core.Run calls
+// it under the cluster's run lock, so one registry shared by a whole
+// workload still prices each query against its own budget. The budget spans
+// restart attempts within the query.
+func (r *Registry) BeginQueryBudget() {
+	if r == nil {
+		return
+	}
+	r.budgetUsed.Store(0)
+}
+
+// ConsumeRestart charges one crash restart (RestartCost units) against the
+// current query's budget.
+func (r *Registry) ConsumeRestart() {
+	if r == nil {
+		return
+	}
+	r.budgetUsed.Add(r.spec.RestartCost)
+}
+
+// BudgetExhausted reports whether the current query has overdrawn its retry
+// budget. Only meaningful at a phase barrier (mid-phase the tally is still
+// accumulating in worker-scheduling order); with RetryBudget 0 it never
+// trips.
+func (r *Registry) BudgetExhausted() bool {
+	if r == nil || r.spec.RetryBudget <= 0 {
+		return false
+	}
+	return r.budgetUsed.Load() >= r.spec.RetryBudget
+}
+
+// BudgetUsed reports the retry units the current query has consumed.
+func (r *Registry) BudgetUsed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.budgetUsed.Load()
+}
+
+// ArrivalBurst reports whether a burst starts at arrival ordinal seq and, if
+// so, how many subsequent gaps collapse to zero. Pure function of seq, so
+// the workload generator's arrival schedule stays part of the determinism
+// contract.
+func (r *Registry) ArrivalBurst(seq int) int {
+	if r == nil || r.spec.ArrivalBurstRate <= 0 {
+		return 0
+	}
+	if r.roll(kindBurst, uint64(seq), 0, 0, 0) < r.spec.ArrivalBurstRate {
+		return r.spec.ArrivalBurstLen
+	}
+	return 0
 }
 
 // maxRetransmits bounds the retransmission chain for one packet; with any

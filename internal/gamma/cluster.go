@@ -8,6 +8,7 @@ package gamma
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"gammajoin/internal/cost"
@@ -54,6 +55,15 @@ type Cluster struct {
 	hosts []int
 	dead  []bool
 
+	// tempLive is the ledger of live temp-file names: internal/core
+	// registers each temp wiss file at creation and drops all of them on
+	// every Run exit path (success, restart, cancellation). Tests assert
+	// it drains to empty — the cancellation-hygiene contract. Guarded by
+	// its own mutex because registration happens between phases while
+	// other bookkeeping may be concurrent.
+	tempMu   sync.Mutex
+	tempLive map[string]struct{}
+
 	// runMu serializes whole-query executions on this cluster. The shared
 	// physical state — network and disk counters, the fault registry's
 	// phase/packet coordinates, the host map — is scoped per query by
@@ -70,6 +80,40 @@ func (c *Cluster) AcquireRun() { c.runMu.Lock() }
 
 // ReleaseRun releases the lock taken by AcquireRun.
 func (c *Cluster) ReleaseRun() { c.runMu.Unlock() }
+
+// RegisterTempFile records a temp wiss file as live. internal/core calls it
+// from newTempFile; the name must be the file's full registered name.
+func (c *Cluster) RegisterTempFile(name string) {
+	c.tempMu.Lock()
+	if c.tempLive == nil {
+		c.tempLive = make(map[string]struct{})
+	}
+	c.tempLive[name] = struct{}{}
+	c.tempMu.Unlock()
+}
+
+// DropTempFile deletes a temp file from the live ledger. Dropping a name
+// that is not live is a no-op.
+func (c *Cluster) DropTempFile(name string) {
+	c.tempMu.Lock()
+	delete(c.tempLive, name)
+	c.tempMu.Unlock()
+}
+
+// LiveTempFiles returns the names of temp files registered but not yet
+// dropped, sorted. Empty whenever no query is mid-flight — including after
+// a canceled or shed query, which is what the cancellation-hygiene tests
+// assert.
+func (c *Cluster) LiveTempFiles() []string {
+	c.tempMu.Lock()
+	defer c.tempMu.Unlock()
+	names := make([]string, 0, len(c.tempLive))
+	for n := range c.tempLive {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // EnableFaults builds a registry for spec and attaches it to the network
 // and every disk. Call once, after construction and before running

@@ -76,12 +76,14 @@ const (
 	BucketRetrans                 // retransmit/duplicate carve-out
 	BucketWait                    // admission wait (workload runs only)
 	BucketSpread                  // contention stretch (workload runs only)
+	BucketShed                    // time wasted on a query shed before admission
+	BucketCancel                  // post-admission time of a deadline-canceled query
 	NumBuckets
 )
 
 var bucketNames = [NumBuckets]string{
 	"cpu", "disk", "net", "sched", "detect", "redo", "resurrect",
-	"fault.retry", "fault.retrans", "wait", "spread",
+	"fault.retry", "fault.retrans", "wait", "spread", "shed", "cancel",
 }
 
 func (b Bucket) String() string {

@@ -20,7 +20,28 @@ import (
 // ResponseNs. Cached reports (experiments.WorkloadConfig.CacheReports) are
 // fine here — the profile reads the report, and the query id comes from the
 // QueryResult, not the possibly-shared trace.
+// Shed and canceled queries profile too, through the two overload buckets:
+// a query shed before admission puts its whole wasted response in "shed"
+// (it never held a grant, so there is nothing else to blame); a query
+// canceled mid-run splits into "wait" (arrival to admission) plus "cancel"
+// (admission to the deadline cancellation) — its nominal schedule was
+// abandoned, so decomposing it would blame work that never finished. The
+// identity holds for every outcome: BlameTotal() == ResponseNs, bit-exact.
 func FromQueryResult(qr *sched.QueryResult, m *cost.Model) (*Profile, error) {
+	switch qr.Outcome {
+	case sched.OutcomeShedQueue, sched.OutcomeShedStarved,
+		sched.OutcomeTimedOutQueued, sched.OutcomeShedBudget,
+		sched.OutcomeShedInfeasible:
+		p := &Profile{QueryID: qr.ID, ResponseNs: qr.ResponseNs}
+		p.Blame[BucketShed] = qr.ResponseNs
+		return p, nil
+	case sched.OutcomeCanceled:
+		p := &Profile{QueryID: qr.ID, ResponseNs: qr.ResponseNs}
+		p.WaitNs = qr.WaitNs
+		p.Blame[BucketWait] = qr.WaitNs
+		p.Blame[BucketCancel] = qr.ResponseNs - qr.WaitNs
+		return p, nil
+	}
 	if qr.Report == nil {
 		return nil, fmt.Errorf("profile: query %d carries no report", qr.ID)
 	}

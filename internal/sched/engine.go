@@ -1,12 +1,15 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"gammajoin/internal/core"
 	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/gamma"
+	"gammajoin/internal/trace"
 	"gammajoin/internal/tuple"
 )
 
@@ -29,6 +32,19 @@ type Config struct {
 	Model *cost.Model
 
 	Exec Exec
+
+	// Overload control (see overload.go). All three knobs default to the
+	// pre-overload engine: NoShed, unbounded queue, seed 0 — zero values
+	// reproduce old runs byte for byte.
+	//
+	// QueueCap bounds the admission queue; arrivals that would overflow it
+	// are shed on the spot. 0 means unbounded. Requires a shed policy.
+	QueueCap int
+	// Shed selects the load-shedding policy.
+	Shed ShedPolicy
+	// ShedSeed salts the deterministic tie-break hash in shed-victim
+	// selection.
+	ShedSeed uint64
 }
 
 // Engine admits and interleaves a workload. One engine runs one workload;
@@ -42,6 +58,18 @@ type Engine struct {
 	// sitePeak tracks the lease high-water mark per site: how many
 	// resident queries held unfinished work there at once.
 	sitePeak map[int]int
+
+	// Overload state (see overload.go). sheds records every query resolved
+	// without completing; the metrics registry carries the shed/timeout
+	// counters and the queue-depth gauge, sampled per overload event.
+	sheds          map[int]*shedRec
+	metrics        *trace.Metrics
+	mShed          *trace.Counter
+	mTimeout       *trace.Counter
+	mBrownout      *trace.Counter
+	mQueueDepth    *trace.Gauge
+	events         int
+	queueDepthPeak int
 }
 
 // runStage is a running query's position within its current phase.
@@ -84,6 +112,12 @@ type runq struct {
 	revoked    int64
 	penalty    *phaseSched
 	penaltyIdx int
+
+	// Overload state: outcome is OutcomeCompleted unless the engine
+	// canceled the query at its deadline; browned marks a Brownout
+	// degraded-grant admission.
+	outcome Outcome
+	browned bool
 }
 
 // newRunq builds the interleavable schedule from the query's report.
@@ -181,7 +215,20 @@ func New(cfg Config) (*Engine, error) {
 	if (cfg.Policy == Shrink || cfg.Policy == ShrinkRevoke) && cfg.Model == nil {
 		return nil, fmt.Errorf("sched: %s policy needs a cost model", cfg.Policy)
 	}
-	return &Engine{cfg: cfg, sitePeak: make(map[int]int)}, nil
+	if cfg.QueueCap > 0 && cfg.Shed == NoShed {
+		return nil, fmt.Errorf("sched: a bounded admission queue (cap %d) needs a shed policy", cfg.QueueCap)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sitePeak: make(map[int]int),
+		sheds:    make(map[int]*shedRec),
+		metrics:  trace.NewMetrics(),
+	}
+	e.mShed = e.metrics.Counter("sched.shed")
+	e.mTimeout = e.metrics.Counter("sched.timeout")
+	e.mBrownout = e.metrics.Counter("sched.brownout")
+	e.mQueueDepth = e.metrics.Gauge("sched.queue.depth")
+	return e, nil
 }
 
 // minGrant is the smallest admissible memory grant: one tuple slot, the same
@@ -413,17 +460,71 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 		}
 	}
 	var (
-		next      int // next unarrived query
-		waitq     []*Query
-		admitted  = make(map[int]*runq, len(queries))
-		loads     = make(map[int]int)
-		completed int
+		next     int // next unarrived query
+		waitq    []*Query
+		admitted = make(map[int]*runq, len(queries))
+		loads    = make(map[int]int)
+		resolved int // completed + shed + timed out + canceled
 	)
-	for completed < len(queries) {
+	shedding := e.cfg.Shed != NoShed
+	for resolved < len(queries) {
 		// Arrivals at or before now join the admission queue in order.
 		for next < len(queries) && queries[next].ArriveNs <= e.now {
 			waitq = append(waitq, queries[next])
 			next++
+		}
+		if len(waitq) > e.queueDepthPeak {
+			e.queueDepthPeak = len(waitq)
+		}
+		if shedding {
+			// Deadline enforcement, at exact deadline instants (the dt
+			// candidates below step the clock onto them). Running queries
+			// past their deadline are canceled — grant released, schedule
+			// abandoned; completions retire before this check (end of the
+			// previous iteration), so a query finishing exactly at its
+			// deadline completes.
+			alive := e.running[:0]
+			for _, r := range e.running {
+				dl, ok := r.q.deadline()
+				if !ok || e.now < dl {
+					alive = append(alive, r)
+					continue
+				}
+				r.outcome = OutcomeCanceled
+				r.finishNs = e.now
+				resolved++
+				if err := e.cfg.Pool.Release(r.grant); err != nil {
+					return nil, err
+				}
+				e.shedQuery(r.q, OutcomeCanceled, len(waitq))
+			}
+			e.running = alive
+			// Waiting queries past their deadline time out of the queue.
+			keep := waitq[:0]
+			for _, q := range waitq {
+				if dl, ok := q.deadline(); ok && e.now >= dl {
+					resolved++
+					e.shedQuery(q, OutcomeTimedOutQueued, len(waitq)-1)
+					continue
+				}
+				keep = append(keep, q)
+			}
+			waitq = keep
+			// Bounded admission queue: shed down to the cap. RejectNewest
+			// and Brownout drop the newest arrival; ShedLargest evicts the
+			// largest-demand waiter (seeded tie-break).
+			if cap := e.cfg.QueueCap; cap > 0 {
+				for len(waitq) > cap {
+					idx := len(waitq) - 1
+					if e.cfg.Shed == ShedLargest {
+						idx = e.largestVictim(waitq)
+					}
+					v := waitq[idx]
+					waitq = append(waitq[:idx], waitq[idx+1:]...)
+					resolved++
+					e.shedQuery(v, OutcomeShedQueue, len(waitq))
+				}
+			}
 		}
 		// Victims first: revoked memory flows back to earlier admissions
 		// before any new query is considered, cancelling their spill
@@ -445,6 +546,29 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 			if !ok && e.cfg.Policy == ShrinkRevoke {
 				grant, ok = e.tryRevoke(q)
 			}
+			browned := false
+			if !ok && e.cfg.Shed == Brownout && brownoutEligible(q) {
+				// Brownout: admit the Hybrid head degraded rather than
+				// leave it to queue toward its deadline.
+				if g, deg, fits := e.brownoutGrant(q); fits {
+					grant, ok, browned = g, true, deg
+				}
+			}
+			if !ok && e.cfg.Shed == ShedLargest && e.headStarved(q) {
+				// The head cannot get even its floor grant before its
+				// deadline: shed the largest-demand waiter. A shed head
+				// unblocks the queue — retry admission; otherwise stop and
+				// let the event loop advance.
+				idx := e.largestVictim(waitq)
+				v := waitq[idx]
+				waitq = append(waitq[:idx], waitq[idx+1:]...)
+				resolved++
+				e.shedQuery(v, OutcomeShedStarved, len(waitq))
+				if idx == 0 {
+					continue
+				}
+				break
+			}
 			if !ok {
 				break
 			}
@@ -453,14 +577,48 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 			}
 			rep, err := e.cfg.Exec(q, grant)
 			if err != nil {
+				if errors.Is(err, fault.ErrRetryBudgetExhausted) {
+					// The executor gave up inside its retry budget: shed
+					// this query instead of failing the workload. Applies
+					// under every policy — the budget bounds fault-retry
+					// work, not load.
+					if rerr := e.cfg.Pool.Release(grant); rerr != nil {
+						return nil, rerr
+					}
+					waitq = waitq[1:]
+					resolved++
+					e.shedQuery(q, OutcomeShedBudget, len(waitq))
+					continue
+				}
 				return nil, fmt.Errorf("sched: executing query %d: %w", q.ID, err)
 			}
+			if shedding {
+				// Admission-time feasibility: the nominal response is a
+				// hard lower bound on what the shared machine will deliver,
+				// so a head that cannot make its deadline even running
+				// alone is shed here, cheaply, instead of holding a grant
+				// until the deadline cancel.
+				if dl, ok := q.deadline(); ok && e.now+cost.DurNs(rep.Response) > dl {
+					if rerr := e.cfg.Pool.Release(grant); rerr != nil {
+						return nil, rerr
+					}
+					waitq = waitq[1:]
+					resolved++
+					e.shedQuery(q, OutcomeShedInfeasible, len(waitq))
+					continue
+				}
+			}
 			rq := newRunq(q, rep, grant, e.now)
+			rq.browned = browned
 			admitted[q.ID] = rq
 			waitq = waitq[1:]
+			if browned {
+				e.mBrownout.Add(1)
+				e.sampleMetrics("brownout", len(waitq))
+			}
 			if rq.done { // degenerate empty schedule
 				rq.finishNs = e.now
-				completed++
+				resolved++
 				if err := e.cfg.Pool.Release(grant); err != nil {
 					return nil, err
 				}
@@ -474,10 +632,23 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 		if len(e.running) == 0 {
 			if len(waitq) > 0 {
 				// Nothing running, nothing releasing, head inadmissible:
-				// only a future arrival could change anything, and it
-				// cannot shrink the head's demand. That is a policy bug.
+				// a future arrival cannot shrink the head's demand, but
+				// under a shed policy a waiter's deadline can still fire —
+				// step to the earliest of the two. With neither, that is a
+				// policy bug.
+				jump := cost.SimNs(-1)
 				if next < len(queries) {
-					e.now = queries[next].ArriveNs
+					jump = queries[next].ArriveNs
+				}
+				if shedding {
+					for _, q := range waitq {
+						if dl, ok := q.deadline(); ok && dl > e.now && (jump < 0 || dl < jump) {
+							jump = dl
+						}
+					}
+				}
+				if jump > e.now {
+					e.now = jump
 					continue
 				}
 				return nil, fmt.Errorf("sched: deadlock: query %d inadmissible with idle pool (%d free of %d)",
@@ -529,6 +700,25 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 		if next < len(queries) {
 			if gap := queries[next].ArriveNs - e.now; gap < dt {
 				dt = gap
+			}
+		}
+		if shedding {
+			// Deadlines are events too: step exactly onto the earliest
+			// future deadline of any running or waiting query so
+			// cancellations and queue timeouts fire at exact instants.
+			for _, r := range e.running {
+				if dl, ok := r.q.deadline(); ok && dl > e.now {
+					if gap := dl - e.now; gap < dt {
+						dt = gap
+					}
+				}
+			}
+			for _, q := range waitq {
+				if dl, ok := q.deadline(); ok && dl > e.now {
+					if gap := dl - e.now; gap < dt {
+						dt = gap
+					}
+				}
 			}
 		}
 		for _, r := range e.running {
@@ -596,7 +786,7 @@ func (e *Engine) Run(queries []*Query) (*Result, error) {
 				continue
 			}
 			r.finishNs = e.now
-			completed++
+			resolved++
 			if err := e.cfg.Pool.Release(r.grant); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,345 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"gammajoin/internal/core"
+	"gammajoin/internal/cost"
+	"gammajoin/internal/gamma"
+	"gammajoin/internal/tuple"
+)
+
+// Overload-control unit tests: every shed decision on a hand-computable
+// synthetic schedule, at exact simulated instants. synthExec (sched_test.go)
+// fabricates the reports.
+
+func TestQueueCapNeedsShedPolicy(t *testing.T) {
+	_, err := New(Config{
+		Pool: gamma.NewMemPool(1 << 20), Exec: synthExec(0, 100, 1),
+		QueueCap: 2,
+	})
+	if err == nil {
+		t.Fatal("QueueCap without a shed policy must be a config error")
+	}
+}
+
+// overloadRun builds and runs an engine, failing the test on any error.
+func overloadRun(t *testing.T, cfg Config, queries []*Query) *Result {
+	t.Helper()
+	if cfg.Exec == nil {
+		cfg.Exec = synthExec(0, 1000, 1)
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = gamma.NewMemPool(1 << 20)
+	}
+	return mustRun(t, cfg, queries)
+}
+
+// Queue cap 2, MPL 1: with q1 running and q2, q3 waiting, q4's arrival
+// overflows the queue and RejectNewest sheds q4 on the spot.
+func TestQueueCapRejectsNewest(t *testing.T) {
+	res := overloadRun(t, Config{
+		MPL: 1, Shed: RejectNewest, QueueCap: 2,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10},
+		{ID: 2, ArriveNs: 10, DemandBytes: 10},
+		{ID: 3, ArriveNs: 20, DemandBytes: 10},
+		{ID: 4, ArriveNs: 30, DemandBytes: 10},
+	})
+	q4 := res.Queries[3]
+	if q4.Outcome != OutcomeShedQueue {
+		t.Fatalf("q4 outcome = %v, want shed:queue", q4.Outcome)
+	}
+	if q4.FinishNs != 30 || q4.ResponseNs != 0 {
+		t.Errorf("q4 shed at %d (response %d), want its arrival instant 30 (response 0)", q4.FinishNs, q4.ResponseNs)
+	}
+	if res.Shed != 1 || res.Completed != 3 {
+		t.Errorf("counts: %d shed / %d completed, want 1/3", res.Shed, res.Completed)
+	}
+	if res.QueueDepthPeak != 3 {
+		t.Errorf("queue depth peak = %d, want 3 (momentarily, before the trim)", res.QueueDepthPeak)
+	}
+}
+
+// Same overflow under ShedLargest evicts the largest-demand waiter (q3, not
+// the newest q4), which then completes in q3's place.
+func TestShedLargestEvictsLargestWaiter(t *testing.T) {
+	res := overloadRun(t, Config{
+		MPL: 1, Shed: ShedLargest, QueueCap: 2,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10},
+		{ID: 2, ArriveNs: 10, DemandBytes: 100},
+		{ID: 3, ArriveNs: 20, DemandBytes: 500},
+		{ID: 4, ArriveNs: 30, DemandBytes: 10},
+	})
+	if got := res.Queries[2].Outcome; got != OutcomeShedQueue {
+		t.Fatalf("q3 (largest waiter) outcome = %v, want shed:queue", got)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if got := res.Queries[i].Outcome; got != OutcomeCompleted {
+			t.Errorf("q%d outcome = %v, want completed", i+1, got)
+		}
+	}
+}
+
+// A waiting query's deadline fires at the exact instant: q2 cannot be
+// admitted behind the long q1 (MPL 1) and times out of the queue at
+// arrival+deadline precisely.
+func TestQueuedDeadlineTimesOutExactly(t *testing.T) {
+	res := overloadRun(t, Config{
+		MPL: 1, Shed: RejectNewest,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10},
+		{ID: 2, ArriveNs: 10, DemandBytes: 10, DeadlineNs: 500},
+	})
+	q2 := res.Queries[1]
+	if q2.Outcome != OutcomeTimedOutQueued {
+		t.Fatalf("q2 outcome = %v, want timeout:queued", q2.Outcome)
+	}
+	if q2.FinishNs != 510 || q2.ResponseNs != 500 {
+		t.Errorf("q2 timed out at %d (response %d), want the exact deadline instant 510 (response 500)",
+			q2.FinishNs, q2.ResponseNs)
+	}
+	if res.TimedOut != 1 {
+		t.Errorf("TimedOut = %d, want 1", res.TimedOut)
+	}
+}
+
+// A running query stretched past its deadline by contention is canceled at
+// the exact deadline instant and its grant released. Two 1000ns queries
+// share site 0: each runs at rate 1/2, so q2 (deadline 1500) is canceled at
+// t=1500 with 250ns of work left, and q1 then finishes alone at 1750.
+func TestRunningCanceledAtDeadlineInstant(t *testing.T) {
+	pool := gamma.NewMemPool(1 << 20)
+	res := overloadRun(t, Config{
+		Pool: pool, Shed: RejectNewest,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 2200},
+		{ID: 2, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 1500},
+	})
+	q1, q2 := res.Queries[0], res.Queries[1]
+	if q2.Outcome != OutcomeCanceled {
+		t.Fatalf("q2 outcome = %v, want timeout:canceled", q2.Outcome)
+	}
+	if q2.FinishNs != 1500 || q2.ResponseNs != 1500 {
+		t.Errorf("q2 canceled at %d, want the exact deadline instant 1500", q2.FinishNs)
+	}
+	if q2.ResultCount != 0 || q2.ResultSum != 0 {
+		t.Errorf("canceled q2 delivered results (%d, %x)", q2.ResultCount, q2.ResultSum)
+	}
+	if q1.Outcome != OutcomeCompleted || q1.FinishNs != 1750 {
+		t.Errorf("q1 = %v at %d, want completed at 1750 (alone after the cancel)", q1.Outcome, q1.FinishNs)
+	}
+	if free := pool.Free(); free != pool.Total() {
+		t.Errorf("pool not drained after the workload: %d free of %d", free, pool.Total())
+	}
+}
+
+// A query whose nominal response cannot meet its deadline is shed at
+// admission (infeasible), not admitted and canceled later: capacity is
+// never spent on a query destined to miss.
+func TestInfeasibleShedAtAdmission(t *testing.T) {
+	res := overloadRun(t, Config{
+		Shed: RejectNewest,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 500}, // nominal 1000
+		{ID: 2, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 2000},
+	})
+	q1, q2 := res.Queries[0], res.Queries[1]
+	if q1.Outcome != OutcomeShedInfeasible {
+		t.Fatalf("q1 outcome = %v, want shed:infeasible", q1.Outcome)
+	}
+	if q1.FinishNs != 0 {
+		t.Errorf("q1 shed at %d, want its admission attempt at 0", q1.FinishNs)
+	}
+	if q2.Outcome != OutcomeCompleted || q2.FinishNs != 1000 {
+		t.Errorf("q2 = %v at %d, want completed at 1000, untouched by q1's shed", q2.Outcome, q2.FinishNs)
+	}
+}
+
+// Brownout admits a memory-blocked Hybrid head at the largest demand/k
+// grant that fits the free pool instead of queueing it; a non-Hybrid head
+// in the same spot waits for the full grant.
+func TestBrownoutDegradesHybridOnly(t *testing.T) {
+	for _, tc := range []struct {
+		alg     core.Algorithm
+		browned bool
+	}{{core.Hybrid, true}, {core.Grace, false}} {
+		// Sized in tuple slots: grants are floored at one tuple.Bytes slot.
+		const slot = int64(tuple.Bytes)
+		pool := gamma.NewMemPool(100 * slot)
+		res := overloadRun(t, Config{
+			Pool: pool, Shed: Brownout,
+		}, []*Query{
+			{ID: 1, Alg: core.Simple, ArriveNs: 0, DemandBytes: 60 * slot},
+			{ID: 2, Alg: tc.alg, ArriveNs: 10, DemandBytes: 80 * slot},
+		})
+		q2 := res.Queries[1]
+		if q2.Browned != tc.browned {
+			t.Fatalf("%v: browned = %v, want %v", tc.alg, q2.Browned, tc.browned)
+		}
+		if tc.browned {
+			// Free pool is 40 slots at q2's arrival: demand/2 = 40 fits.
+			if q2.GrantBytes != 40*int64(tuple.Bytes) || q2.WaitNs != 0 {
+				t.Errorf("browned grant %d after %dns wait, want 40 slots immediately", q2.GrantBytes, q2.WaitNs)
+			}
+			if res.Browned != 1 {
+				t.Errorf("Result.Browned = %d, want 1", res.Browned)
+			}
+		} else {
+			// Grace waits for q1's release instead of degrading.
+			if q2.WaitNs == 0 {
+				t.Errorf("%v: admitted without waiting; brownout must not apply", tc.alg)
+			}
+		}
+	}
+}
+
+// Under NoShed a deadline is recorded, not enforced: the query completes
+// late, counts toward Late, and falls out of goodput.
+func TestNoShedRecordsLateness(t *testing.T) {
+	res := overloadRun(t, Config{
+		MPL: 1,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 2000},
+		{ID: 2, ArriveNs: 0, DemandBytes: 10, DeadlineNs: 500}, // will finish at 2000
+	})
+	q2 := res.Queries[1]
+	if q2.Outcome != OutcomeCompleted {
+		t.Fatalf("NoShed q2 outcome = %v, want completed (deadlines unenforced)", q2.Outcome)
+	}
+	if q2.DeadlineMet() {
+		t.Error("q2 finished past its deadline but reports DeadlineMet")
+	}
+	if res.Late != 1 || res.Completed != 2 {
+		t.Errorf("late/completed = %d/%d, want 1/2", res.Late, res.Completed)
+	}
+	if res.TimedOut != 0 || res.Shed != 0 {
+		t.Errorf("NoShed shed something: %d timed out, %d shed", res.TimedOut, res.Shed)
+	}
+}
+
+// The acceptance bound, on a contended synthetic mix: under every shedding
+// policy, no completed query ever exceeds its deadline.
+func TestCompletedNeverExceedsDeadline(t *testing.T) {
+	mkQueries := func() []*Query {
+		var qs []*Query
+		for i := 0; i < 16; i++ {
+			qs = append(qs, &Query{
+				ID:          i + 1,
+				Alg:         core.Hybrid,
+				ArriveNs:    cost.SimNs(i * 300),
+				DemandBytes: int64(10 + (i%4)*20),
+				DeadlineNs:  cost.SimNs(1500 + (i%3)*700),
+			})
+		}
+		return qs
+	}
+	for _, shed := range []ShedPolicy{RejectNewest, ShedLargest, Brownout} {
+		res := overloadRun(t, Config{
+			MPL: 2, Shed: shed, QueueCap: 3, Exec: synthExec(50, 900, 2),
+		}, mkQueries())
+		for _, q := range res.Queries {
+			if q.Outcome != OutcomeCompleted {
+				continue
+			}
+			if !q.DeadlineMet() {
+				t.Errorf("%v: completed q%d overran its deadline: response %d > %d",
+					shed, q.ID, q.ResponseNs, q.DeadlineNs)
+			}
+		}
+		if res.Completed == 0 {
+			t.Errorf("%v: nothing completed — the mix is mis-tuned", shed)
+		}
+	}
+}
+
+// The overload metrics registry carries the shed/timeout counters and the
+// queue-depth gauge, sampled per overload event, and exports as TSV.
+func TestOverloadMetricsSampled(t *testing.T) {
+	res := overloadRun(t, Config{
+		MPL: 1, Shed: RejectNewest, QueueCap: 1,
+	}, []*Query{
+		{ID: 1, ArriveNs: 0, DemandBytes: 10},
+		{ID: 2, ArriveNs: 10, DemandBytes: 10},
+		{ID: 3, ArriveNs: 20, DemandBytes: 10},
+	})
+	if res.Metrics == nil {
+		t.Fatal("overload run carries no metrics registry")
+	}
+	var buf bytes.Buffer
+	if err := res.Metrics.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sched.shed", "sched.timeout", "sched.queue.depth", "shed:queue"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("metrics TSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// renderRun runs one workload and renders its full text report.
+func renderRun(t *testing.T, shed ShedPolicy, cap int, seed uint64, queries []*Query) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res := overloadRun(t, Config{
+		MPL: 1, Shed: shed, QueueCap: cap, ShedSeed: seed,
+		Exec: synthExec(10, 500, 2),
+	}, queries)
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// FuzzAdmissionOrder: however the fuzzer shapes the arrival trace — equal
+// arrival instants, equal demands, deadline pile-ups — every policy must
+// resolve the admit/shed order deterministically: two runs of the same
+// workload render byte-identical reports, and every query resolves.
+func FuzzAdmissionOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1}, uint64(0))
+	f.Add([]byte{7, 3, 7, 3, 200, 200, 0, 50, 9}, uint64(1989))
+	f.Add([]byte{255, 255, 255, 0, 0, 0}, uint64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		// Three bytes per query: arrival bucket (ties common), demand,
+		// deadline bucket (0 = none).
+		var queries []*Query
+		arrive := cost.SimNs(0)
+		for i := 0; i+2 < len(data); i += 3 {
+			arrive += cost.SimNs(data[i]%4) * 100 // non-decreasing, tie-heavy
+			q := &Query{
+				ID:          i/3 + 1,
+				Alg:         core.Hybrid,
+				ArriveNs:    arrive,
+				DemandBytes: int64(1 + data[i+1]%8),
+			}
+			if d := data[i+2] % 5; d > 0 {
+				q.DeadlineNs = cost.SimNs(d) * 400
+			}
+			queries = append(queries, q)
+		}
+		if len(queries) == 0 {
+			t.Skip()
+		}
+		clone := func() []*Query {
+			out := make([]*Query, len(queries))
+			for i, q := range queries {
+				c := *q
+				out[i] = &c
+			}
+			return out
+		}
+		for _, shed := range []ShedPolicy{RejectNewest, ShedLargest, Brownout} {
+			a := renderRun(t, shed, 2, seed, clone())
+			b := renderRun(t, shed, 2, seed, clone())
+			if a != b {
+				t.Fatalf("%v: same workload, different reports:\n--- run 1\n%s\n--- run 2\n%s", shed, a, b)
+			}
+		}
+	})
+}

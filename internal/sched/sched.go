@@ -34,6 +34,7 @@ import (
 
 	"gammajoin/internal/core"
 	"gammajoin/internal/cost"
+	"gammajoin/internal/fault"
 	"gammajoin/internal/xrand"
 )
 
@@ -127,6 +128,23 @@ type Query struct {
 	// OuterBytes sizes the outer relation, used by the Shrink policy to
 	// price the extra bucket-forming pass a shrunken grant causes.
 	OuterBytes int64
+
+	// DeadlineNs is the query's relative deadline: it must finish by
+	// ArriveNs+DeadlineNs. Under a shed policy the engine enforces it —
+	// waiting queries time out of the queue, running queries are canceled
+	// at the deadline instant — so no completed query ever exceeds it.
+	// Under NoShed it is recorded but not enforced: late completions are
+	// counted (Result.Late) and excluded from goodput, the open-arrival
+	// hockey-stick baseline. 0 means no deadline.
+	DeadlineNs cost.SimNs
+}
+
+// deadline returns the query's absolute deadline on the simulated clock.
+func (q *Query) deadline() (cost.SimNs, bool) {
+	if q.DeadlineNs <= 0 {
+		return 0, false
+	}
+	return q.ArriveNs + q.DeadlineNs, true
 }
 
 // WorkloadSpec parameterizes the deterministic workload generator.
@@ -145,6 +163,19 @@ type WorkloadSpec struct {
 
 	// Algs is the algorithm mix to draw from; nil means all four.
 	Algs []core.Algorithm
+
+	// DeadlineNs gives every generated query this relative deadline;
+	// 0 means none.
+	DeadlineNs cost.SimNs
+
+	// BurstRate is the per-arrival probability that the next BurstLen
+	// inter-arrival gaps collapse to zero — a burst of simultaneous
+	// arrivals, the stress input for the bounded admission queue. The
+	// burst schedule derives from the same Seed through the fault
+	// registry's ArrivalBurst decision, so it is byte-reproducible.
+	// BurstLen defaults to 4.
+	BurstRate float64
+	BurstLen  int
 }
 
 // GenWorkload builds the arrival schedule for spec. Everything is integer
@@ -166,18 +197,37 @@ func GenWorkload(ws WorkloadSpec) []*Query {
 	if smallOuter <= 0 {
 		smallOuter = ws.OuterBytes / 2
 	}
+	var bursts *fault.Registry
+	if ws.BurstRate > 0 {
+		bursts = fault.NewRegistry(fault.Spec{
+			Seed:             ws.Seed,
+			ArrivalBurstRate: ws.BurstRate,
+			ArrivalBurstLen:  ws.BurstLen,
+		})
+	}
 	src := xrand.New(ws.Seed)
 	var t cost.SimNs
+	burst := 0
 	out := make([]*Query, 0, ws.N)
 	for i := 0; i < ws.N; i++ {
-		t += gap/2 + cost.Ns(int64(src.Uint64()%uint64(gap.Nanoseconds())))
+		if burst > 0 {
+			// Mid-burst: this arrival lands at the same instant as its
+			// predecessor. Queue order for arrival ties is generation
+			// order (ascending ID) — part of the determinism contract the
+			// admission-order fuzz test asserts.
+			burst--
+		} else {
+			t += gap/2 + cost.Ns(int64(src.Uint64()%uint64(gap.Nanoseconds())))
+			burst = bursts.ArrivalBurst(i)
+		}
 		q := &Query{
-			ID:       i + 1,
-			ArriveNs: t,
-			Alg:      algs[src.Intn(len(algs))],
-			HPJA:     src.Intn(2) == 0,
-			Filter:   src.Intn(4) == 0,
-			Small:    src.Intn(3) == 0,
+			ID:         i + 1,
+			ArriveNs:   t,
+			Alg:        algs[src.Intn(len(algs))],
+			HPJA:       src.Intn(2) == 0,
+			Filter:     src.Intn(4) == 0,
+			Small:      src.Intn(3) == 0,
+			DeadlineNs: ws.DeadlineNs,
 		}
 		if q.Small {
 			q.DemandBytes, q.OuterBytes = smallInner, smallOuter

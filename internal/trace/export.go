@@ -187,7 +187,16 @@ func (r *Recorder) WriteMetricsTSV(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("trace: recorder disabled")
 	}
-	m := r.Metrics()
+	return r.Metrics().WriteTSV(w)
+}
+
+// WriteTSV dumps a registry's time series in the same format as
+// Recorder.WriteMetricsTSV, for standalone registries (the workload
+// engine's admission metrics).
+func (m *Metrics) WriteTSV(w io.Writer) error {
+	if m == nil {
+		return fmt.Errorf("trace: metrics disabled")
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "attempt\tphase\tphase_name\tat_ns\tmetric\tvalue\tdelta")
 	prev := make(map[string]int64)

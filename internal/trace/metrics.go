@@ -29,6 +29,19 @@ func newMetrics() *Metrics {
 	}
 }
 
+// NewMetrics builds a standalone registry for consumers that sample outside
+// a Recorder's phase barriers — the workload engine (internal/sched)
+// samples its admission metrics per overload event instead.
+func NewMetrics() *Metrics { return newMetrics() }
+
+// Sample snapshots every registered metric as one row of the time series.
+// Recorders call the internal variant at phase barriers; standalone
+// registries call this at whatever event boundary they define (attempt and
+// phase are free-form ordinals there, phaseName the event kind).
+func (m *Metrics) Sample(attempt, phase int, phaseName string, at int64) {
+	m.sample(attempt, phase, phaseName, at)
+}
+
 // Counter is a monotonically increasing metric.
 type Counter struct{ v atomic.Int64 }
 

@@ -149,7 +149,7 @@ func readBaseline(path string) (*Baseline, error) {
 // simOnly skips the wall-clock gate and checks only the simulated metrics —
 // the mode CI uses, where machine noise would make wall-clock ratios
 // meaningless but simulated results must still match the baseline exactly.
-func compare(base, cur map[string]Bench, tolerance float64, simOnly bool) []string {
+func compare(base, cur map[string]Bench, tolerance, minWallNs float64, simOnly bool) []string {
 	var names []string
 	for name := range base {
 		names = append(names, name)
@@ -182,7 +182,11 @@ func compare(base, cur map[string]Bench, tolerance float64, simOnly bool) []stri
 			continue
 		}
 		b := base[name]
-		if !simOnly && b.WallNs > 0 {
+		// Below the floor, a few-iteration wall-clock sample is dominated
+		// by scheduler and GC luck rather than code: such benchmarks are
+		// exempt from the wall gate (their simulated metrics are still
+		// matched exactly below, and they still count toward the median).
+		if !simOnly && b.WallNs >= minWallNs && b.WallNs > 0 {
 			norm := c.WallNs / b.WallNs / median
 			if norm > 1+tolerance {
 				fails = append(fails, fmt.Sprintf("%s: wall-clock regressed %.0f%% beyond the machine-normalized baseline (%.2gns -> %.2gns, normalized %.2fx)",
@@ -216,6 +220,8 @@ func main() {
 	simOnly := flag.Bool("sim-only", false, "gate only the simulated metrics (exact match); skip the wall-clock comparison")
 	profBase := flag.String("prof-base", "", "baseline gammaprof profile directory (*.prof.tsv); on failure, explain what moved")
 	profCur := flag.String("prof-cur", "", "current gammaprof profile directory (*.prof.tsv); on failure, explain what moved")
+	wallDelta := flag.String("wall-delta", "", "with -against: print the named benchmark's wall-clock versus the baseline (its speedup report), gating nothing")
+	minWall := flag.Float64("min-wall-ns", 0, "skip the wall-clock gate for benchmarks whose baseline is below this many ns/op (too fast to time reliably); simulated metrics are still matched exactly")
 	flag.Parse()
 	if *emit == "" && *against == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: need -emit and/or -against")
@@ -239,7 +245,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fails := compare(base.Benchmarks, benches, *tolerance, *simOnly)
+		if *wallDelta != "" {
+			b, okB := base.Benchmarks[*wallDelta]
+			c, okC := benches[*wallDelta]
+			if !okB || !okC {
+				fmt.Fprintf(os.Stderr, "benchcheck: -wall-delta %s: present in baseline %v, in current run %v\n",
+					*wallDelta, okB, okC)
+				os.Exit(1)
+			}
+			fmt.Printf("benchcheck: %s wall-clock: baseline %.0f ns/op, current %.0f ns/op, speedup %.2fx\n",
+				*wallDelta, b.WallNs, c.WallNs, b.WallNs/c.WallNs)
+			return
+		}
+		fails := compare(base.Benchmarks, benches, *tolerance, *minWall, *simOnly)
 		for _, f := range fails {
 			fmt.Printf("benchcheck: FAIL %s\n", f)
 		}

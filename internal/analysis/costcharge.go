@@ -19,13 +19,13 @@ import (
 //  2. calling (*gamma.Exchange).Deliver directly is always flagged: batches
 //     must be built and priced by a netsim.Sender (passing ex.Deliver as the
 //     sender's delivery callback is the sanctioned path and is not a call);
-//  3. sending a netsim.Batch (or *netsim.Batch) on a raw channel is flagged
-//     for the same reason;
+//  3. sending a netsim.Batch (or *netsim.Batch, or a batched-transport run
+//     []*netsim.Batch) on a raw channel is flagged for the same reason;
 //  4. constructing a netsim.Batch composite literal outside internal/netsim
 //     is flagged — hand-built packets skip the per-tuple copy costs;
-//  5. ranging over a channel of *netsim.Batch requires a call to
-//     (*netsim.Network).Recv in the same function, so the receive-side
-//     protocol cost is charged for every batch consumed.
+//  5. ranging over a channel of *netsim.Batch (or of runs, []*netsim.Batch)
+//     requires a call to (*netsim.Network).Recv in the same function, so the
+//     receive-side protocol cost is charged for every batch consumed.
 var CostCharge = &Analyzer{
 	Name: "costcharge",
 	Doc: "require netsim sends and page operations to be paired with " +
@@ -147,6 +147,14 @@ func (u *costUnit) report() {
 
 func isAcct(t types.Type) bool { return isPkgNamed(t, "internal/cost", "Acct") }
 
+// isBatch recognizes packet traffic in either granularity: a single
+// *netsim.Batch or a batched-transport run ([]*netsim.Batch).
 func (u *costUnit) isBatch(t types.Type) bool {
-	return t != nil && isPkgNamed(t, "internal/netsim", "Batch")
+	if t == nil {
+		return false
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		t = sl.Elem()
+	}
+	return isPkgNamed(t, "internal/netsim", "Batch")
 }

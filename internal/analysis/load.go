@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -138,11 +139,18 @@ func (l *Loader) loadPath(path string) (*LoadedPackage, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Build-constraint filtering uses the default build context, so
+	// tag-switched variant files (e.g. a gammajoin_serial default) resolve
+	// the same way `go build` does instead of colliding as redeclarations.
+	ctx := build.Default
 	var names []string
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
 			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if ok, err := ctx.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

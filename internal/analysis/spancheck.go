@@ -2,11 +2,14 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 // SpanCheck enforces the tracing contract of the phase machinery: every
-// goroutine a phase launches — recognisable because it creates its worker
+// goroutine a phase launches — by a plain go statement or by submitting the
+// function literal to the cluster's worker pool with (*gamma.Cluster).Go,
+// recognisable because it creates its worker
 // account with (*gamma.Phase).Acct — must open exactly one trace span with
 // (*trace.Recorder).Start and close it with a deferred (*trace.Span).Close,
 // so the span ends on every path out of the goroutine (early return, panic
@@ -16,7 +19,7 @@ import (
 // identity the byte-identical-export guarantee sorts by; a non-deferred
 // Close can be skipped by an early return and leaves a zero-duration span.
 //
-// Calling Phase.Acct outside a go-launched function literal is flagged too:
+// Calling Phase.Acct outside a launched function literal is flagged too:
 // worker accounts created elsewhere cannot be wrapped by the goroutine's
 // span, so their charges would never reach the timeline.
 //
@@ -42,20 +45,38 @@ func runSpanCheck(p *Pass) error {
 		insideGo := map[*ast.CallExpr]bool{}
 
 		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
+			// A phase worker is launched either by a plain go statement or
+			// by submitting the literal to the cluster's persistent per-site
+			// worker pool via (*gamma.Cluster).Go — the batched engine's
+			// launcher. Both carry the same span obligations.
+			var lit *ast.FuncLit
+			var launchPos token.Pos
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				l, ok := n.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				lit, launchPos = l, n.Pos()
+			case *ast.CallExpr:
+				if !p.isMethodCall(n, "internal/gamma", "Cluster", "Go") || len(n.Args) == 0 {
+					return true
+				}
+				l, ok := n.Args[len(n.Args)-1].(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				lit, launchPos = l, n.Pos()
+			default:
 				return true
 			}
 			var accts, starts []*ast.CallExpr
 			deferredClose := false
 			// Walk the literal's own body; nested function literals run on
 			// this goroutine's stack, so their calls count too, but a
-			// nested *go* statement starts a fresh goroutine with its own
-			// obligations and is handled by the enclosing Inspect.
+			// nested *go* statement (or a nested pool submission) starts a
+			// fresh goroutine with its own obligations and is handled by
+			// the enclosing Inspect.
 			ast.Inspect(lit.Body, func(m ast.Node) bool {
 				switch m := m.(type) {
 				case *ast.GoStmt:
@@ -65,6 +86,9 @@ func runSpanCheck(p *Pass) error {
 						deferredClose = true
 					}
 				case *ast.CallExpr:
+					if p.isMethodCall(m, "internal/gamma", "Cluster", "Go") {
+						return false
+					}
 					if p.isMethodCall(m, "internal/gamma", "Phase", "Acct") {
 						accts = append(accts, m)
 						insideGo[m] = true
@@ -78,13 +102,13 @@ func runSpanCheck(p *Pass) error {
 			if len(accts) == 0 {
 				return true // not a phase worker
 			}
-			line := p.Fset.Position(g.Pos()).Line
+			line := p.Fset.Position(launchPos).Line
 			if allowed[line] || allowed[p.Fset.Position(accts[0].Pos()).Line] {
 				return true
 			}
 			switch {
 			case len(starts) == 0:
-				p.Reportf(g.Pos(), "phase-launched goroutine charges a Phase.Acct account but never opens a trace span; call trace.Recorder.Start and defer the span's Close (or justify with //gammavet:spancheck)")
+				p.Reportf(launchPos, "phase-launched goroutine charges a Phase.Acct account but never opens a trace span; call trace.Recorder.Start and defer the span's Close (or justify with //gammavet:spancheck)")
 			case len(starts) > 1:
 				p.Reportf(starts[1].Pos(), "phase-launched goroutine opens %d trace spans; exactly one span per goroutine keeps the canonical span identity unique (or justify with //gammavet:spancheck)", len(starts))
 			case !deferredClose:

@@ -12,7 +12,7 @@ import (
 // unpricedSend ships tuples without charging any per-tuple work.
 func unpricedSend(snd *netsim.Sender, ts []tuple.Tuple) {
 	for i := range ts {
-		snd.Send(0, 0, ts[i], 0) // want `netsim send without a cost.Model charge`
+		snd.Send(0, 0, &ts[i], 0) // want `netsim send without a cost.Model charge`
 	}
 }
 
@@ -20,7 +20,7 @@ func unpricedSend(snd *netsim.Sender, ts []tuple.Tuple) {
 func pricedSend(a *cost.Acct, m *cost.Model, snd *netsim.Sender, ts []tuple.Tuple) {
 	for i := range ts {
 		a.AddCPU(m.Hash)
-		snd.Send(0, 0, ts[i], 0)
+		snd.Send(0, 0, &ts[i], 0)
 	}
 }
 
@@ -30,12 +30,13 @@ func pricedHelper(a *cost.Acct, m *cost.Model) { a.AddCPU(m.ReadTuple) }
 // by delegation.
 func delegatedSend(a *cost.Acct, m *cost.Model, snd *netsim.Sender, t tuple.Tuple) {
 	pricedHelper(a, m)
-	snd.SendJoined(0, 0, tuple.Joined{Inner: t, Outer: t})
+	j := tuple.Joined{Inner: t, Outer: t}
+	snd.SendJoined(0, 0, &j)
 }
 
 // directDeliver bypasses the sender entirely.
-func directDeliver(ex *gamma.Exchange, b *netsim.Batch) {
-	ex.Deliver(0, b) // want `direct Exchange.Deliver call bypasses`
+func directDeliver(ex *gamma.Exchange, run []*netsim.Batch) {
+	ex.Deliver(0, run) // want `direct Exchange.Deliver call bypasses`
 }
 
 // rawChanSend pushes a batch onto a channel with no accounting.
@@ -43,9 +44,15 @@ func rawChanSend(ch chan *netsim.Batch, b *netsim.Batch) {
 	ch <- b // want `netsim.Batch sent on a raw channel`
 }
 
+// rawChanSendRun pushes a whole transport run onto a channel with no
+// accounting — the batched path must not be a loophole.
+func rawChanSendRun(ch chan []*netsim.Batch, run []*netsim.Batch) {
+	ch <- run // want `netsim.Batch sent on a raw channel`
+}
+
 // handBatch fabricates a packet without paying tuple copy costs.
 func handBatch(ts []tuple.Tuple) *netsim.Batch {
-	return &netsim.Batch{Src: 0, Dst: 1, Tuples: ts} // want `netsim.Batch built by hand`
+	return &netsim.Batch{Src: 0, Dst: 1, Batch: tuple.Batch{Tuples: ts}} // want `netsim.Batch built by hand`
 }
 
 // drainNoRecv consumes batches without charging receive-side protocol cost.
@@ -57,12 +64,37 @@ func drainNoRecv(ch chan *netsim.Batch) int {
 	return n
 }
 
-// drainWithRecv is the sanctioned consumer shape (core's drainSorted).
+// drainRunsNoRecv consumes batched-transport runs without charging
+// receive-side protocol cost.
+func drainRunsNoRecv(ch chan []*netsim.Batch) int {
+	n := 0
+	for run := range ch { // want `without Network.Recv`
+		for _, b := range run {
+			n += b.Len()
+		}
+	}
+	return n
+}
+
+// drainWithRecv is the sanctioned single-batch consumer shape.
 func drainWithRecv(net *netsim.Network, a *cost.Acct, ch chan *netsim.Batch) int {
 	n := 0
 	for b := range ch {
 		net.Recv(a, b)
 		n += b.Len()
+	}
+	return n
+}
+
+// drainRunsWithRecv is the sanctioned batched consumer shape (core's
+// drainSorted): every batch in every run pays Recv.
+func drainRunsWithRecv(net *netsim.Network, a *cost.Acct, ch chan []*netsim.Batch) int {
+	n := 0
+	for run := range ch {
+		for _, b := range run {
+			net.Recv(a, b)
+			n += b.Len()
+		}
 	}
 	return n
 }

@@ -74,3 +74,33 @@ func profilingReader(tr *trace.Recorder, sink func(cost.SimNs)) {
 		sink(cpu)
 	}()
 }
+
+// pooledWorker is the batched engine's launch shape: the literal is
+// submitted to the cluster's persistent per-site pool via Cluster.Go. One
+// account, one span, deferred close — no diagnostics.
+func pooledWorker(c *gamma.Cluster, p *gamma.Phase, tr *trace.Recorder, work func(*cost.Acct)) {
+	c.Go(0, func() {
+		a := p.Acct(0)
+		sp := tr.Start(0, "probe", "consume", -1)
+		defer sp.Close(a)
+		work(a)
+	})
+}
+
+// pooledSpanlessWorker charges an account on a pool worker without a span.
+func pooledSpanlessWorker(c *gamma.Cluster, p *gamma.Phase, work func(*cost.Acct)) {
+	c.Go(1, func() { // want `phase-launched goroutine charges a Phase.Acct account but never opens a trace span`
+		a := p.Acct(1)
+		work(a)
+	})
+}
+
+// pooledUndeferredClose closes the pool worker's span on the happy path only.
+func pooledUndeferredClose(c *gamma.Cluster, p *gamma.Phase, tr *trace.Recorder, work func(*cost.Acct)) {
+	c.Go(2, func() {
+		a := p.Acct(2)
+		sp := tr.Start(2, "probe", "consume", -1) // want `never closed with a deferred Span.Close`
+		work(a)
+		sp.Close(a)
+	})
+}

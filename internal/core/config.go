@@ -1,0 +1,49 @@
+package core
+
+import (
+	"os"
+	"strconv"
+
+	"gammajoin/internal/netsim"
+)
+
+// Config tunes the batched operator engine. The settings change only
+// wall-clock execution strategy — never what the simulator charges: every
+// Report metric, trace span, and byte-compared artifact is identical at any
+// BatchSize (TestBatchedEquivalence holds the engine to that).
+type Config struct {
+	// BatchSize is the transport delivery-run length in packets: how many
+	// consecutive same-destination packets a sender hands to an exchange in
+	// one operation. 1 selects the legacy serial engine (packet-at-a-time
+	// delivery); larger values only amortize channel traffic.
+	//
+	// The default is netsim.DefaultRunLength, overridable with the
+	// GAMMAJOIN_BATCH environment variable or the gammajoin_serial build
+	// tag (both pin the legacy mode for A/B runs without code changes).
+	BatchSize int
+}
+
+// Cfg is the process-wide engine configuration, applied at each Run (and
+// each non-join operator) start. Mutate it only between runs — the
+// equivalence tests flip it, serially, between executions.
+var Cfg = Config{BatchSize: defaultBatchSize()}
+
+func defaultBatchSize() int {
+	if v := os.Getenv("GAMMAJOIN_BATCH"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	if serialEngine {
+		return 1
+	}
+	return netsim.DefaultRunLength
+}
+
+// applyConfig pushes the process-wide engine configuration onto a cluster's
+// network. Called while the run lock is held, before any sender exists.
+func applyConfig(c interface{ SetRunLength(int) }) {
+	if Cfg.BatchSize >= 1 {
+		c.SetRunLength(Cfg.BatchSize)
+	}
+}

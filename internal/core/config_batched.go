@@ -1,0 +1,7 @@
+//go:build !gammajoin_serial
+
+package core
+
+// serialEngine selects the batched engine by default; build with the
+// gammajoin_serial tag to pin the legacy serial engine instead.
+const serialEngine = false

@@ -1,0 +1,7 @@
+//go:build gammajoin_serial
+
+package core
+
+// serialEngine pins the legacy packet-at-a-time engine (BatchSize 1) as the
+// build-time default; see Config.BatchSize.
+const serialEngine = true

@@ -251,7 +251,7 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 				a.AddCPU(rc.m.Hash)
 				h := split.Hash(t.Int(attr), seed)
 				b, dst := pt.Lookup(h)
-				snd.Send(dst, b, *t, h)
+				snd.Send(dst, b, t, h)
 				return true
 			})
 		})
@@ -265,8 +265,10 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 				if formFilters != nil {
 					flt = formFilters[b.Tag][ds]
 				}
-				for i := range b.Tuples {
-					if flt != nil {
+				if flt == nil {
+					f.AppendBatch(a, b.Tuples)
+				} else {
+					for i := range b.Tuples {
 						a.AddCPU(rc.m.FilterBit)
 						if building {
 							flt.Set(b.Hashes[i])
@@ -274,8 +276,8 @@ func (rc *runCtx) formPhase(name string, rel *gamma.Relation, attr int, p pred.P
 							rc.filterDropped.Add(1)
 							continue
 						}
+						f.Append(a, b.Tuples[i])
 					}
-					f.Append(a, b.Tuples[i])
 				}
 				if b.Local {
 					rc.mFormLocal.Add(int64(len(b.Tuples)))

@@ -120,13 +120,20 @@ func (rc *runCtx) blockJoinLevel(name string, bucket int, rsrc, ssrc []fileAt) e
 		site := rf.site
 		ps.produce[site] = append(ps.produce[site], func(a *cost.Acct, snd *netsim.Sender) {
 			em := rc.newEmitter(site, snd)
+			defer em.close()
 			chunkCap := int(rc.tableCap() / tuple.Bytes)
 			if chunkCap < 1 {
 				chunkCap = 1
 			}
+			// One match callback for the whole chunk loop; outer is rebound
+			// per probed tuple so the closure is allocated once, not per
+			// tuple.
+			var outer *tuple.Tuple
+			var tbl *gamma.HashTable
+			onMatch := func(match *tuple.Tuple) { em.emit(a, match, outer) }
 			cur := rfile.NewCursor(a)
 			for {
-				tbl := gamma.NewHashTable(rc.m, int64(chunkCap+1)*tuple.Bytes, rc.spec.RAttr)
+				tbl = gamma.NewHashTable(rc.m, int64(chunkCap+1)*tuple.Bytes, rc.spec.RAttr)
 				n := 0
 				for n < chunkCap {
 					t, ok := cur.Next()
@@ -134,20 +141,23 @@ func (rc *runCtx) blockJoinLevel(name string, bucket int, rsrc, ssrc []fileAt) e
 						break
 					}
 					a.AddCPU(rc.m.Hash)
-					tbl.Insert(a, t, split.Hash(t.Int(rc.spec.RAttr), 0))
+					tbl.Insert(a, &t, split.Hash(t.Int(rc.spec.RAttr), 0))
 					n++
 				}
 				if n == 0 {
+					tbl.Release()
 					return
 				}
 				sfile.Scan(a, func(t *tuple.Tuple) bool {
 					a.AddCPU(rc.m.Hash)
 					h := split.Hash(t.Int(rc.spec.SAttr), 0)
-					tbl.Probe(a, h, t.Int(rc.spec.SAttr), func(match *tuple.Tuple) {
-						em.emit(a, match, t)
-					})
+					outer = t
+					tbl.Probe(a, h, t.Int(rc.spec.SAttr), onMatch)
 					return true
 				})
+				// The chunk's probes are done and em.emit copied every match
+				// out, so the chunk table can be recycled.
+				tbl.Release()
 				if n < chunkCap {
 					return
 				}
@@ -210,7 +220,7 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 				}
 				a.AddCPU(rc.m.Hash)
 				h := split.Hash(t.Int(rc.spec.RAttr), seed)
-				snd.Send(jt.Lookup(h), tagProbe, *t, h)
+				snd.Send(jt.Lookup(h), tagProbe, t, h)
 				return true
 			})
 		})
@@ -239,12 +249,13 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 					}
 					if gamma.AboveCutoff(tbl.Cutoff(), h) {
 						rc.mROver.Add(1)
-						snd.Send(home, tagROverBase+j, b.Tuples[i], h)
+						snd.Send(home, tagROverBase+j, &b.Tuples[i], h)
 						continue
 					}
-					for _, ev := range tbl.Insert(a, b.Tuples[i], h) {
+					evs := tbl.Insert(a, &b.Tuples[i], h)
+					for k := range evs {
 						rc.mROver.Add(1)
-						snd.Send(home, tagROverBase+j, ev, 0)
+						snd.Send(home, tagROverBase+j, &evs[k], 0)
 					}
 				}
 			}
@@ -259,8 +270,9 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 
 	// Cutoffs are published to the scheduler at the phase barrier and
 	// embedded in the split table used for the outer relation (the h'
-	// functions of Section 3.2).
-	cutoffs := make(map[int]uint64, len(tables))
+	// functions of Section 3.2). Dense site-indexed storage keeps the
+	// per-tuple lookup in the probe scan a bounds check, not a map probe.
+	cutoffs := make([]uint64, len(rc.c.Sites))
 	for _, j := range rc.joinSites {
 		cutoffs[j] = tables[j].Cutoff()
 	}
@@ -299,10 +311,10 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 				}
 				if gamma.AboveCutoff(cutoffs[j], h) {
 					rc.mSOver.Add(1)
-					snd.Send(rc.c.OverflowDiskSite(j), tagSOverBase+j, *t, h)
+					snd.Send(rc.c.OverflowDiskSite(j), tagSOverBase+j, t, h)
 					return true
 				}
-				snd.Send(j, tagProbe, *t, h)
+				snd.Send(j, tagProbe, t, h)
 				return true
 			})
 		})
@@ -312,17 +324,13 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 		probe.consume[j] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
 			tbl := tables[j]
 			em := rc.newEmitter(j, snd)
+			defer em.close()
+			onMatch := func(outer, match *tuple.Tuple) { em.emit(a, match, outer) }
 			for _, b := range batches {
 				if b.Tag != tagProbe {
 					continue
 				}
-				for i := range b.Tuples {
-					outer := &b.Tuples[i]
-					key := outer.Int(rc.spec.SAttr)
-					tbl.Probe(a, b.Hashes[i], key, func(match *tuple.Tuple) {
-						em.emit(a, match, outer)
-					})
-				}
+				tbl.ProbeBatch(a, b.Tuples, b.Hashes, rc.spec.SAttr, onMatch)
 			}
 			rc.noteChains(j, tbl)
 		}
@@ -336,6 +344,13 @@ func (rc *runCtx) joinLevel(name string, bucket int, rsrc, ssrc []fileAt, seed u
 	}
 	if err := rc.runPhase(probe); err != nil {
 		return nil, nil, err
+	}
+	// Both phases have reached their barriers, so no worker can still hold a
+	// pointer into the tables; recycle their arrays for the next level. On
+	// the error paths above the redo machinery rebuilds fresh tables and the
+	// old ones are left to the garbage collector.
+	for _, j := range rc.joinSites {
+		tables[j].Release()
 	}
 
 	// Keep rover[i] and sover[i] paired by join site (an S overflow can
@@ -366,10 +381,7 @@ func (rc *runCtx) addOverflowWriters(write map[int]writerFn, files map[int]*wiss
 		}
 		write[ds] = func(a *cost.Acct, batches []*netsim.Batch) {
 			for _, b := range batches {
-				f := files[b.Tag-tagBase]
-				for i := range b.Tuples {
-					f.Append(a, b.Tuples[i])
-				}
+				files[b.Tag-tagBase].AppendBatch(a, b.Tuples)
 			}
 			for _, j := range homed {
 				files[j].Flush(a)
@@ -408,10 +420,7 @@ func (rc *runCtx) addFileAppendConsumers(consume map[int]consumerFn, files map[i
 				if b.Tag < tagBase || b.Tag >= tagBase+len(rc.c.Sites) {
 					continue
 				}
-				f := files[b.Tag-tagBase]
-				for i := range b.Tuples {
-					f.Append(a, b.Tuples[i])
-				}
+				files[b.Tag-tagBase].AppendBatch(a, b.Tuples)
 			}
 			for _, j := range homed {
 				files[j].Flush(a)

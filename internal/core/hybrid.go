@@ -132,9 +132,9 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 				h := split.Hash(t.Int(rc.spec.RAttr), seed)
 				b, dst := pt.Lookup(h)
 				if b == 0 {
-					snd.Send(dst, tagProbe, *t, h)
+					snd.Send(dst, tagProbe, t, h)
 				} else {
-					snd.Send(dst, b, *t, h)
+					snd.Send(dst, b, t, h)
 				}
 				return true
 			})
@@ -160,12 +160,13 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 					}
 					if gamma.AboveCutoff(tbl.Cutoff(), h) {
 						rc.mROver.Add(1)
-						snd.Send(home, tagROverBase+j, b.Tuples[i], h)
+						snd.Send(home, tagROverBase+j, &b.Tuples[i], h)
 						continue
 					}
-					for _, ev := range tbl.Insert(a, b.Tuples[i], h) {
+					evs := tbl.Insert(a, &b.Tuples[i], h)
+					for k := range evs {
 						rc.mROver.Add(1)
-						snd.Send(home, tagROverBase+j, ev, 0)
+						snd.Send(home, tagROverBase+j, &evs[k], 0)
 					}
 				}
 			}
@@ -178,7 +179,8 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 		return err
 	}
 
-	cutoffs := make(map[int]uint64, len(tables))
+	// Dense site-indexed cutoffs: the partition-S scan reads one per tuple.
+	cutoffs := make([]uint64, len(rc.c.Sites))
 	for _, j := range rc.joinSites {
 		cutoffs[j] = tables[j].Cutoff()
 	}
@@ -208,7 +210,7 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 				h := split.Hash(t.Int(rc.spec.SAttr), seed)
 				b, dst := pt.Lookup(h)
 				if b != 0 {
-					snd.Send(dst, b, *t, h)
+					snd.Send(dst, b, t, h)
 					return true
 				}
 				if filters != nil {
@@ -220,10 +222,10 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 				}
 				if gamma.AboveCutoff(cutoffs[dst], h) {
 					rc.mSOver.Add(1)
-					snd.Send(rc.c.OverflowDiskSite(dst), tagSOverBase+dst, *t, h)
+					snd.Send(rc.c.OverflowDiskSite(dst), tagSOverBase+dst, t, h)
 					return true
 				}
-				snd.Send(dst, tagProbe, *t, h)
+				snd.Send(dst, tagProbe, t, h)
 				return true
 			})
 		})
@@ -232,17 +234,13 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 		return func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
 			tbl := tables[j]
 			em := rc.newEmitter(j, snd)
+			defer em.close()
+			onMatch := func(outer, match *tuple.Tuple) { em.emit(a, match, outer) }
 			for _, b := range batches {
 				if b.Tag != tagProbe {
 					continue
 				}
-				for i := range b.Tuples {
-					outer := &b.Tuples[i]
-					key := outer.Int(rc.spec.SAttr)
-					tbl.Probe(a, b.Hashes[i], key, func(match *tuple.Tuple) {
-						em.emit(a, match, outer)
-					})
-				}
+				tbl.ProbeBatch(a, b.Tuples, b.Hashes, rc.spec.SAttr, onMatch)
 			}
 			rc.noteChains(j, tbl)
 		}
@@ -258,7 +256,15 @@ func (rc *runCtx) hybridPartition(nb int, seed uint64,
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	return rc.runPhase(partS)
+	if err := rc.runPhase(partS); err != nil {
+		return err
+	}
+	// Past the probe barrier no worker holds pointers into the bucket-1
+	// tables; recycle their arrays (error paths leave them to the GC).
+	for _, j := range rc.joinSites {
+		tables[j].Release()
+	}
+	return nil
 }
 
 // hybridConsumers installs one consumer per site participating in a Hybrid
@@ -282,8 +288,10 @@ func (rc *runCtx) hybridConsumers(consume map[int]consumerFn, mk func(j int) con
 				if formFilters != nil {
 					flt = formFilters[b.Tag][ds]
 				}
-				for i := range b.Tuples {
-					if flt != nil {
+				if flt == nil {
+					f.AppendBatch(a, b.Tuples)
+				} else {
+					for i := range b.Tuples {
 						a.AddCPU(rc.m.FilterBit)
 						if building {
 							flt.Set(b.Hashes[i])
@@ -291,8 +299,8 @@ func (rc *runCtx) hybridConsumers(consume map[int]consumerFn, mk func(j int) con
 							rc.filterDropped.Add(1)
 							continue
 						}
+						f.Append(a, b.Tuples[i])
 					}
-					f.Append(a, b.Tuples[i])
 				}
 				if b.Local {
 					rc.mFormLocal.Add(int64(len(b.Tuples)))

@@ -295,7 +295,7 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 				}
 				a.AddCPU(rc.m.Hash)
 				h := split.Hash(t.Int(rc.spec.RAttr), seed)
-				snd.Send(rc.dynOwner(rc.dynPart(h, np), np), tagProbe, *t, h)
+				snd.Send(rc.dynOwner(rc.dynPart(h, np), np), tagProbe, t, h)
 				return true
 			})
 		})
@@ -325,7 +325,7 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 					}
 					p := rc.dynPart(h, np)
 					if spilled[p] {
-						snd.Send(rc.dynHome(p, np), tagDynRBase+p, b.Tuples[i], h)
+						snd.Send(rc.dynHome(p, np), tagDynRBase+p, &b.Tuples[i], h)
 						continue
 					}
 					tbl := st.tables[p]
@@ -337,10 +337,10 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 						}
 						a.AddCPU(rc.m.SpillDecide)
 						rc.dynSpill(a, snd, st, p, np, spilled)
-						snd.Send(rc.dynHome(p, np), tagDynRBase+p, b.Tuples[i], h)
+						snd.Send(rc.dynHome(p, np), tagDynRBase+p, &b.Tuples[i], h)
 						continue
 					}
-					tbl.Insert(a, b.Tuples[i], h)
+					tbl.Insert(a, &b.Tuples[i], h)
 				}
 				// One batch = one adaptation epoch: roll the swing injector,
 				// then enforce the budget largest-partition-first.
@@ -435,7 +435,7 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 							return true
 						}
 					}
-					snd.Send(rc.dynHome(p, np), tagDynSBase+p, *t, h)
+					snd.Send(rc.dynHome(p, np), tagDynSBase+p, t, h)
 					return true
 				}
 				j := rc.dynOwner(p, np)
@@ -446,7 +446,7 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 						return true
 					}
 				}
-				snd.Send(j, tagProbe, *t, h)
+				snd.Send(j, tagProbe, t, h)
 				return true
 			})
 		})
@@ -456,18 +456,21 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 		probe.consume[j] = func(a *cost.Acct, snd *netsim.Sender, batches []*netsim.Batch) {
 			st := states[j]
 			em := rc.newEmitter(j, snd)
+			defer em.close()
+			// One match callback for the whole drain; outer is rebound per
+			// probed tuple (partitioned tables rule out ProbeBatch here —
+			// each tuple may hit a different table).
+			var outer *tuple.Tuple
+			onMatch := func(match *tuple.Tuple) { em.emit(a, match, outer) }
 			for _, b := range batches {
 				if b.Tag != tagProbe {
 					continue
 				}
 				for i := range b.Tuples {
-					outer := &b.Tuples[i]
+					outer = &b.Tuples[i]
 					h := b.Hashes[i]
 					tbl := st.tables[rc.dynPart(h, np)]
-					key := outer.Int(rc.spec.SAttr)
-					tbl.Probe(a, h, key, func(match *tuple.Tuple) {
-						em.emit(a, match, outer)
-					})
+					tbl.Probe(a, h, outer.Int(rc.spec.SAttr), onMatch)
 				}
 			}
 			for _, p := range st.parts {
@@ -484,7 +487,19 @@ func (rc *runCtx) dynBuildProbe(np int, seed uint64,
 			rc.storeWriter(ds, a, batches)
 		}
 	}
-	return rc.runPhase(probe)
+	if err := rc.runPhase(probe); err != nil {
+		return err
+	}
+	// The probe barrier has passed, so no worker still holds pointers into
+	// the per-partition tables; the disk-join phases that follow read only
+	// the partition files. Recycle the table arrays (error paths leave them
+	// to the GC — the redo machinery rebuilds fresh state).
+	for _, j := range rc.joinSites {
+		for _, tbl := range states[j].tables {
+			tbl.Release()
+		}
+	}
+	return nil
 }
 
 // dynInitBudget seeds a site's budget from the fault registry's per-phase
@@ -561,7 +576,7 @@ func (rc *runCtx) dynSpill(a *cost.Acct, snd *netsim.Sender, st *dynSite, p, np 
 	tuples, hashes := st.tables[p].SpillAll(a)
 	home := rc.dynHome(p, np)
 	for i := range tuples {
-		snd.Send(home, tagDynRBase+p, tuples[i], hashes[i])
+		snd.Send(home, tagDynRBase+p, &tuples[i], hashes[i])
 	}
 	spilled[p] = true
 	a.Note("part.spill", int64(len(tuples)))
@@ -586,7 +601,7 @@ func (rc *runCtx) dynResurrect(np int, seed uint64, states map[int]*dynSite,
 				f.Scan(a, func(t *tuple.Tuple) bool {
 					a.AddCPU(rc.m.Hash) // recompute the routing hash
 					h := split.Hash(t.Int(rc.spec.RAttr), seed)
-					snd.Send(owner, tagProbe, *t, h)
+					snd.Send(owner, tagProbe, t, h)
 					return true
 				})
 			})
@@ -604,7 +619,7 @@ func (rc *runCtx) dynResurrect(np int, seed uint64, states map[int]*dynSite,
 				for i := range b.Tuples {
 					h := b.Hashes[i]
 					p := rc.dynPart(h, np)
-					st.tables[p].Insert(a, b.Tuples[i], h)
+					st.tables[p].Insert(a, &b.Tuples[i], h)
 					counts[p]++
 				}
 			}
@@ -643,10 +658,7 @@ func (rc *runCtx) addDynFileWriters(write map[int]writerFn, files map[int]*wiss.
 				if b.Tag < tagBase || b.Tag >= tagBase+np {
 					continue
 				}
-				f := files[b.Tag-tagBase]
-				for i := range b.Tuples {
-					f.Append(a, b.Tuples[i])
-				}
+				files[b.Tag-tagBase].AppendBatch(a, b.Tuples)
 				if b.Local {
 					rc.mFormLocal.Add(int64(len(b.Tuples)))
 				} else {
@@ -677,10 +689,7 @@ func (rc *runCtx) addDynFileConsumers(consume map[int]consumerFn, files map[int]
 				if b.Tag < tagBase || b.Tag >= tagBase+np {
 					continue
 				}
-				f := files[b.Tag-tagBase]
-				for i := range b.Tuples {
-					f.Append(a, b.Tuples[i])
-				}
+				files[b.Tag-tagBase].AppendBatch(a, b.Tuples)
 				if b.Local {
 					rc.mFormLocal.Add(int64(len(b.Tuples)))
 				} else {

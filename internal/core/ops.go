@@ -35,11 +35,14 @@ type OpReport struct {
 }
 
 // newBareCtx builds the minimal runCtx the phase machinery needs for
-// non-join operators.
+// non-join operators. Callers must hold the cluster's run lock (the phase
+// machinery parks its workers on the cluster pool, which drains at
+// ReleaseRun).
 func newBareCtx(c *gamma.Cluster, joinSites []int) *runCtx {
 	if len(joinSites) == 0 {
 		joinSites = c.JoinSites()
 	}
+	applyConfig(c.Net)
 	rc := &runCtx{
 		c:          c,
 		q:          c.NewQuery(),
@@ -101,6 +104,8 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 			return nil, nil, fmt.Errorf("core: invalid projection attribute %d", attr)
 		}
 	}
+	c.AcquireRun()
+	defer c.ReleaseRun()
 	rc := newBareCtx(c, nil)
 	p := s.Pred
 	if p == nil {
@@ -140,7 +145,7 @@ func RunSelect(c *gamma.Cluster, s SelectSpec) (*OpReport, []tuple.Tuple, error)
 				mu.Unlock()
 				if s.StoreResult {
 					rr++
-					snd.Send(rc.diskSites[rr%len(rc.diskSites)], tagStore, out, 0)
+					snd.Send(rc.diskSites[rr%len(rc.diskSites)], tagStore, &out, 0)
 				}
 				return true
 			})
@@ -330,6 +335,8 @@ func RunAggregate(c *gamma.Cluster, s AggSpec) (*OpReport, []AggGroup, error) {
 	if s.GroupAttr >= tuple.NumInts || s.AggAttr < 0 || s.AggAttr >= tuple.NumInts {
 		return nil, nil, fmt.Errorf("core: invalid aggregate attributes %d/%d", s.GroupAttr, s.AggAttr)
 	}
+	c.AcquireRun()
+	defer c.ReleaseRun()
 	rc := newBareCtx(c, s.JoinSites)
 	jt := &split.JoinTable{Sites: rc.joinSites}
 
@@ -369,7 +376,8 @@ func RunAggregate(c *gamma.Cluster, s AggSpec) (*OpReport, []AggGroup, error) {
 			// Ship partials in first-seen order (deterministic).
 			for _, g := range order {
 				h := split.Hash(g, 0)
-				snd.Send(jt.Lookup(h), tagProbe, encodePartial(g, local[g]), h)
+				pt := encodePartial(g, local[g])
+				snd.Send(jt.Lookup(h), tagProbe, &pt, h)
 			}
 		})
 	}

@@ -95,8 +95,12 @@ type runCtx struct {
 	// registered name), so every Run exit path — success, restart, cancel
 	// — can drop them from the cluster's live-file ledger. Appended only
 	// from coordinator code (newTempFile runs between phases), like
-	// fileSeq.
-	tempFiles []string
+	// fileSeq. tempHandles holds the same files by handle so dropTempFiles
+	// can recycle their pages: nothing a Run returns aliases temp-file
+	// memory (results and collected rows are copied out), and redo units
+	// only re-read files from the same attempt, which is over by then.
+	tempFiles   []string
+	tempHandles []*wiss.File
 
 	// Recovery-ladder state for this attempt (docs/FAULTS.md). failover
 	// moves a crashed site's roles to its ring neighbor instead of
@@ -177,6 +181,7 @@ func newRunCtx(c *gamma.Cluster, spec *Spec, tr *trace.Recorder) (*runCtx, error
 	if rc.memPerSite < int64(tuple.Bytes) {
 		rc.memPerSite = tuple.Bytes
 	}
+	applyConfig(c.Net)
 	rc.attachTrace(tr)
 	if spec.BitFilter {
 		rc.filterBits = filterBits(c.Model, len(js))
@@ -358,9 +363,9 @@ func (rc *runCtx) applyMemPressure(a *cost.Acct, snd *netsim.Sender, j int, tbl 
 	}
 	evs := tbl.Resize(a, int64(float64(rc.tableCap())*f))
 	a.Note("mem.pressure", int64(len(evs)))
-	for _, ev := range evs {
+	for i := range evs {
 		rc.mROver.Add(1)
-		snd.Send(rc.c.OverflowDiskSite(j), tagROverBase+j, ev, 0)
+		snd.Send(rc.c.OverflowDiskSite(j), tagROverBase+j, &evs[i], 0)
 	}
 }
 
@@ -395,7 +400,9 @@ func (rc *runCtx) newTempFile(name string, site int) (*wiss.File, error) {
 	full := fmt.Sprintf("%s#%d", name, rc.fileSeq)
 	rc.c.RegisterTempFile(full)
 	rc.tempFiles = append(rc.tempFiles, full)
-	return wiss.NewFile(full, d, rc.m), nil
+	f := wiss.NewFile(full, d, rc.m)
+	rc.tempHandles = append(rc.tempHandles, f)
+	return f, nil
 }
 
 // dropTempFiles deletes every temp file this attempt created from the
@@ -407,6 +414,10 @@ func (rc *runCtx) dropTempFiles() {
 		rc.c.DropTempFile(name)
 	}
 	rc.tempFiles = nil
+	for _, f := range rc.tempHandles {
+		f.Recycle()
+	}
+	rc.tempHandles = nil
 }
 
 // canceled reports whether this execution should stop: the external cancel
@@ -491,15 +502,17 @@ func (ps *phaseSpec) traceBucket() int {
 	return -1
 }
 
-// drainSorted collects every batch from ch, charging receive costs, and
-// returns them ordered by (source site, sequence) so processing order — and
-// therefore overflow behaviour — is deterministic regardless of goroutine
-// scheduling.
-func drainSorted(net *netsim.Network, a *cost.Acct, ch <-chan *netsim.Batch) []*netsim.Batch {
-	var batches []*netsim.Batch
-	for b := range ch {
+// drainSorted charges receive costs for every batch taken from the phase
+// exchange and returns them ordered by (source site, sequence) so processing
+// order — and therefore overflow behaviour — is deterministic regardless of
+// goroutine scheduling. The exchange accumulates delivery runs (bounded
+// slices of packets from one sender to one destination) in arrival order;
+// runs are a transport artifact only — each packet is received and charged
+// individually, and the (Src, Seq) sort erases run boundaries, so batched
+// and serial engines process identical packet sequences.
+func drainSorted(net *netsim.Network, a *cost.Acct, batches []*netsim.Batch) []*netsim.Batch {
+	for _, b := range batches {
 		net.Recv(a, b)
-		batches = append(batches, b)
 	}
 	sort.Slice(batches, func(i, j int) bool {
 		if batches[i].Src != batches[j].Src {
@@ -526,7 +539,7 @@ func sortedKeys[V any](m map[int]V) []int {
 // keep the logical source (consumer-side replay order and the fault
 // schedule's packet coordinates stay independent of failover), while the
 // short-circuit test follows the physical host map once any site is dead.
-func (rc *runCtx) newPhaseSender(a *cost.Acct, site int, deliver func(int, *netsim.Batch)) *netsim.Sender {
+func (rc *runCtx) newPhaseSender(a *cost.Acct, site int, deliver func(int, []*netsim.Batch)) *netsim.Sender {
 	snd := rc.c.Net.NewSender(a, site, deliver)
 	if rc.c.DeadCount() > 0 {
 		snd.SetColocated(rc.c.Colocated(site))
@@ -579,54 +592,64 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 	ex2 := rc.c.NewExchange()
 	bucket := ps.traceBucket()
 
+	// Phase workers run on the cluster's persistent per-site pool rather
+	// than fresh goroutines: tasks are submitted in sortedKeys order, so
+	// Phase.Acct creation order and netsim sequence assignment stay exactly
+	// as before; the pool only changes which OS-level goroutine hosts the
+	// work.
 	var writers sync.WaitGroup
 	for _, site := range sortedKeys(ps.write) {
 		fn := ps.write[site]
 		exec := rc.c.AliveHost(site)
 		writers.Add(1)
-		go func(site, exec int, fn writerFn) {
+		rc.c.Go(exec, func() {
 			defer writers.Done()
 			a := p.Acct(exec)
 			sp := rc.tr.Start(exec, ps.op("write"), "write", bucket)
 			defer sp.Close(a)
 			// Drain unconditionally (upstream must never block on a full
 			// exchange), then skip the work if a cancel fired mid-phase.
-			batches := drainSorted(rc.c.Net, a, ex2.Chan(site))
+			batches := drainSorted(rc.c.Net, a, ex2.Take(site))
+			defer netsim.PutBatches(batches)
 			if rc.canceled() {
 				rc.fail(rc.cancelErr())
 				return
 			}
 			fn(a, batches)
-		}(site, exec, fn)
+		})
 	}
 
 	var consumers sync.WaitGroup
 	for _, site := range sortedKeys(ps.consume) {
+		site := site
 		fn := ps.consume[site]
 		exec := rc.c.AliveHost(site)
 		consumers.Add(1)
-		go func(site, exec int, fn consumerFn) {
+		rc.c.Go(exec, func() {
 			defer consumers.Done()
 			a := p.Acct(exec)
 			sp := rc.tr.Start(exec, ps.op("consume"), "consume", bucket)
 			defer sp.Close(a)
 			snd := rc.newPhaseSender(a, site, ex2.Deliver)
-			batches := drainSorted(rc.c.Net, a, ex1.Chan(site))
+			batches := drainSorted(rc.c.Net, a, ex1.Take(site))
+			defer netsim.PutBatches(batches)
 			if rc.canceled() {
 				rc.fail(rc.cancelErr())
 			} else {
 				fn(a, snd, batches)
 			}
 			snd.FlushAll()
-		}(site, exec, fn)
+			snd.Release()
+		})
 	}
 
 	var producers sync.WaitGroup
 	for _, site := range sortedKeys(ps.produce) {
+		site := site
 		fns := ps.produce[site]
 		exec := rc.c.AliveHost(site)
 		producers.Add(1)
-		go func(site, exec int, fns []producerFn) {
+		rc.c.Go(exec, func() {
 			defer producers.Done()
 			a := p.Acct(exec)
 			sp := rc.tr.Start(exec, ps.op("produce"), "produce", bucket)
@@ -643,14 +666,15 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 				fn(a, snd)
 			}
 			snd.FlushAll()
-		}(site, exec, fns)
+			snd.Release()
+		})
 	}
 	var solos sync.WaitGroup
 	for _, site := range sortedKeys(ps.solo) {
 		fns := ps.solo[site]
 		exec := rc.c.AliveHost(site)
 		solos.Add(1)
-		go func(exec int, fns []func(*cost.Acct)) {
+		rc.c.Go(exec, func() {
 			defer solos.Done()
 			a := p.Acct(exec)
 			sp := rc.tr.Start(exec, ps.op("solo"), "solo", bucket)
@@ -662,15 +686,20 @@ func (rc *runCtx) runPhase(ps phaseSpec) error {
 				}
 				fn(a)
 			}
-		}(exec, fns)
+		})
 	}
 
 	producers.Wait()
 	solos.Wait()
 	ex1.Close()
 	consumers.Wait()
+	// Past the consumers' barrier nothing reads ex1's mailboxes (the batch
+	// objects themselves were recycled by the consumers), so the exchange
+	// can serve the next phase.
+	rc.c.PutExchange(ex1)
 	ex2.Close()
 	writers.Wait()
+	rc.c.PutExchange(ex2)
 
 	if ps.end.Producers == 0 {
 		ps.end.Producers = len(ps.produce)
@@ -747,11 +776,17 @@ func (rc *runCtx) failover(sf *SiteFailure) bool {
 }
 
 // emitResult counts, optionally collects, and optionally routes one result
-// tuple to the store operator at a disk site chosen round-robin.
+// tuple to the store operator at a disk site chosen round-robin. Counts and
+// checksums accumulate locally and land on the shared atomics once, in
+// close() — both are commutative sums, so batching the atomic traffic
+// cannot change the reported values. Every newEmitter caller must
+// `defer em.close()`.
 type resultEmitter struct {
-	rc  *runCtx
-	rr  int // round-robin cursor over disk sites
-	snd *netsim.Sender
+	rc    *runCtx
+	rr    int // round-robin cursor over disk sites
+	snd   *netsim.Sender
+	count int64
+	sum   uint64
 }
 
 func (rc *runCtx) newEmitter(joinSite int, snd *netsim.Sender) *resultEmitter {
@@ -761,20 +796,28 @@ func (rc *runCtx) newEmitter(joinSite int, snd *netsim.Sender) *resultEmitter {
 func (e *resultEmitter) emit(a *cost.Acct, inner, outer *tuple.Tuple) {
 	rc := e.rc
 	a.AddCPU(rc.m.Result)
-	rc.resultCount.Add(1)
-	j := tuple.Joined{Inner: *inner, Outer: *outer}
+	e.count++
 	// The wrapping-sum checksum is order-independent, so accumulating from
 	// worker goroutines in scheduling order is still deterministic.
-	rc.resultSum.Add(j.Checksum())
+	e.sum += tuple.PairChecksum(inner, outer)
 	if rc.spec.CollectResults {
 		rc.resMu.Lock()
-		rc.results = append(rc.results, j)
+		rc.results = append(rc.results, tuple.Joined{Inner: *inner, Outer: *outer})
 		rc.resMu.Unlock()
 	}
 	if rc.spec.StoreResult {
 		e.rr++
 		dst := rc.diskSites[e.rr%len(rc.diskSites)]
-		e.snd.SendJoined(dst, tagStore, j)
+		e.snd.SendJoinedPair(dst, tagStore, inner, outer)
+	}
+}
+
+// close publishes the locally accumulated result count and checksum.
+func (e *resultEmitter) close() {
+	if e.count != 0 {
+		e.rc.resultCount.Add(e.count)
+		e.rc.resultSum.Add(e.sum)
+		e.count, e.sum = 0, 0
 	}
 }
 

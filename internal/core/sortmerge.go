@@ -139,7 +139,7 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 				}
 				a.AddCPU(rc.m.Hash)
 				h := split.Hash(t.Int(attr), rc.spec.HashSeed)
-				snd.Send(jt.Lookup(h), tagProbe, *t, h)
+				snd.Send(jt.Lookup(h), tagProbe, t, h)
 				return true
 			})
 		})
@@ -152,22 +152,28 @@ func (rc *runCtx) smPartition(name string, rel *gamma.Relation, attr int, p pred
 			if filters != nil {
 				flt = filters[s]
 			}
+			var dropped int64
 			for _, b := range batches {
 				if b.Tag != tagProbe {
 					continue
 				}
+				if flt == nil {
+					f.AppendBatch(a, b.Tuples)
+					continue
+				}
 				for i := range b.Tuples {
-					if flt != nil {
-						a.AddCPU(rc.m.FilterBit)
-						if building {
-							flt.Set(b.Hashes[i])
-						} else if !flt.Test(b.Hashes[i]) {
-							rc.filterDropped.Add(1)
-							continue
-						}
+					a.AddCPU(rc.m.FilterBit)
+					if building {
+						flt.Set(b.Hashes[i])
+					} else if !flt.Test(b.Hashes[i]) {
+						dropped++
+						continue
 					}
 					f.Append(a, b.Tuples[i])
 				}
+			}
+			if dropped > 0 {
+				rc.filterDropped.Add(dropped)
 			}
 			f.Flush(a)
 			if b := b2Local(batches); b.local+b.remote > 0 {
@@ -223,6 +229,7 @@ func (rc *runCtx) sortPhase(name string, src, dst map[int]*wiss.File, attr int,
 // explanation for sort-merge's strong NU performance.
 func (rc *runCtx) mergeJoinSite(site int, a *cost.Acct, snd *netsim.Sender, rf, sf *wiss.File) {
 	em := rc.newEmitter(site, snd)
+	defer em.close()
 	rcur := rf.NewCursor(a)
 	scur := sf.NewCursor(a)
 	rt, rok := rcur.Next()

@@ -33,6 +33,8 @@ func RunUpdate(c *gamma.Cluster, s UpdateSpec) (*OpReport, error) {
 		return nil, fmt.Errorf("core: cannot update the partitioning attribute %q of a %s relation in place",
 			tuple.IntAttrNames[s.SetAttr], s.Rel.Strategy)
 	}
+	c.AcquireRun()
+	defer c.ReleaseRun()
 	rc := newBareCtx(c, nil)
 	p := s.Pred
 	if p == nil {
@@ -141,6 +143,8 @@ func RunIndexSelect(c *gamma.Cluster, ix *gamma.Index, p pred.Pred, collect bool
 		return nil, nil, fmt.Errorf("core: predicate %v is not a range on the indexed attribute %s",
 			p, tuple.IntAttrNames[ix.Attr])
 	}
+	c.AcquireRun()
+	defer c.ReleaseRun()
 	rc := newBareCtx(c, nil)
 	counts := make(map[int]*int64, len(ix.Rel.Fragments))
 	var collected []tuple.Tuple

@@ -64,6 +64,11 @@ type Cluster struct {
 	tempMu   sync.Mutex
 	tempLive map[string]struct{}
 
+	// exPool recycles phase exchanges (and their per-site mailbox arrays);
+	// see NewExchange/PutExchange.
+	exMu   sync.Mutex
+	exPool []*Exchange
+
 	// runMu serializes whole-query executions on this cluster. The shared
 	// physical state — network and disk counters, the fault registry's
 	// phase/packet coordinates, the host map — is scoped per query by
@@ -72,14 +77,29 @@ type Cluster struct {
 	// several goroutines; AcquireRun makes core.Run re-entrant by turning
 	// overlap into a queue instead of a data race.
 	runMu sync.Mutex
+
+	// pool is the per-site worker-goroutine pool phase workers run on. Its
+	// tenure is one AcquireRun..ReleaseRun span: workers persist across all
+	// of a query's phases (and restart attempts) and are drained when the
+	// run lock is released.
+	pool workerPool
 }
 
 // AcquireRun takes the cluster's whole-query execution lock. Callers must
 // pair it with ReleaseRun; core.Run does this automatically.
 func (c *Cluster) AcquireRun() { c.runMu.Lock() }
 
-// ReleaseRun releases the lock taken by AcquireRun.
-func (c *Cluster) ReleaseRun() { c.runMu.Unlock() }
+// ReleaseRun drains the phase-worker pool — joining every pooled goroutine,
+// so a finished query leaves a quiescent process — and releases the lock
+// taken by AcquireRun.
+func (c *Cluster) ReleaseRun() {
+	c.pool.drain()
+	c.runMu.Unlock()
+}
+
+// Go runs fn on a pooled phase-worker goroutine with affinity to the given
+// physical site. It must only be called between AcquireRun and ReleaseRun.
+func (c *Cluster) Go(site int, fn func()) { c.pool.Go(site, fn) }
 
 // RegisterTempFile records a temp wiss file as live. internal/core calls it
 // from newTempFile; the name must be the file's full registered name.

@@ -150,17 +150,26 @@ func TestExchange(t *testing.T) {
 	var got int
 	done := make(chan struct{})
 	go func() {
-		for b := range ex.Chan(1) {
+		for _, b := range ex.Take(1) {
 			got += b.Len()
 		}
 		close(done)
 	}()
-	ex.Deliver(1, &netsim.Batch{Tuples: make([]tuple.Tuple, 5)})
-	ex.Deliver(1, &netsim.Batch{Tuples: make([]tuple.Tuple, 4)})
+	b1 := &netsim.Batch{Batch: tuple.Batch{Tuples: make([]tuple.Tuple, 5)}}
+	b2 := &netsim.Batch{Batch: tuple.Batch{Tuples: make([]tuple.Tuple, 4)}}
+	ex.Deliver(1, []*netsim.Batch{b1})
+	ex.Deliver(1, []*netsim.Batch{b2})
 	ex.Close()
 	<-done
 	if got != 9 {
 		t.Fatalf("received %d tuples", got)
+	}
+	c.PutExchange(ex)
+	// A recycled exchange starts empty and usable again.
+	ex2 := c.NewExchange()
+	ex2.Close()
+	if rest := ex2.Take(1); len(rest) != 0 {
+		t.Fatalf("recycled exchange held %d stale batches", len(rest))
 	}
 }
 
@@ -168,6 +177,12 @@ func mk(v int32) tuple.Tuple {
 	var tp tuple.Tuple
 	tp.SetInt(tuple.Unique1, v)
 	return tp
+}
+
+// insT inserts a freshly built tuple (Insert borrows a pointer and copies).
+func insT(ht *HashTable, a *cost.Acct, v int32, h uint64) []tuple.Tuple {
+	tp := mk(v)
+	return ht.Insert(a, &tp, h)
 }
 
 func TestLoadHashPartShortCircuitProperty(t *testing.T) {
@@ -281,7 +296,7 @@ func TestHashTableBasic(t *testing.T) {
 		if AboveCutoff(ht.Cutoff(), h) {
 			t.Fatal("unexpected cutoff with huge capacity")
 		}
-		if ev := ht.Insert(&a, mk(i), h); len(ev) != 0 {
+		if ev := insT(ht, &a, i, h); len(ev) != 0 {
 			t.Fatal("unexpected eviction")
 		}
 	}
@@ -305,7 +320,7 @@ func TestHashTableDuplicates(t *testing.T) {
 	ht := NewHashTable(cost.Default(), 1<<20, tuple.Unique1)
 	var a cost.Acct
 	for i := 0; i < 7; i++ {
-		ht.Insert(&a, mk(99), split.Hash(99, 0))
+		insT(ht, &a, 99, split.Hash(99, 0))
 	}
 	n := 0
 	ht.Probe(&a, split.Hash(99, 0), 99, func(*tuple.Tuple) { n++ })
@@ -330,7 +345,7 @@ func TestHashTableOverflowMachinery(t *testing.T) {
 			overflowed++
 			continue
 		}
-		ev := ht.Insert(&a, mk(i), h)
+		ev := insT(ht, &a, i, h)
 		inTable++
 		inTable -= len(ev)
 		overflowed += len(ev)
@@ -367,7 +382,7 @@ func TestHashTableCutoffMonotone(t *testing.T) {
 		if AboveCutoff(ht.Cutoff(), h) {
 			continue
 		}
-		ht.Insert(&a, mk(i), h)
+		insT(ht, &a, i, h)
 		if c := ht.Cutoff(); c > prev {
 			t.Fatal("cutoff increased")
 		} else {
@@ -396,7 +411,7 @@ func TestHashTableInsertAboveCutoffPanics(t *testing.T) {
 	for i := int32(0); i < 100; i++ {
 		h := split.Hash(i, 9)
 		if !AboveCutoff(ht.Cutoff(), h) {
-			ht.Insert(&a, mk(i), h)
+			insT(ht, &a, i, h)
 		}
 	}
 	if !ht.Overflowed() {
@@ -407,5 +422,5 @@ func TestHashTableInsertAboveCutoffPanics(t *testing.T) {
 			t.Fatal("Insert above cutoff should panic")
 		}
 	}()
-	ht.Insert(&a, mk(0), ^uint64(0))
+	insT(ht, &a, 0, ^uint64(0))
 }

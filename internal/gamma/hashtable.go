@@ -2,6 +2,7 @@ package gamma
 
 import (
 	"math"
+	"sync"
 
 	"gammajoin/internal/cost"
 	"gammajoin/internal/tuple"
@@ -55,6 +56,16 @@ type htEntry struct {
 	t    tuple.Tuple
 }
 
+// headsPool and entriesPool recycle the table's two backing arrays across
+// join levels: a table's entry array is multi-megabyte at benchmark
+// capacities and each overflow level (and each dynamic-Hybrid partition)
+// would otherwise allocate a fresh one. Only Release hands arrays back, and
+// only callers that provably hold the last reference call it.
+var (
+	headsPool   = sync.Pool{New: func() any { return []int32(nil) }}
+	entriesPool = sync.Pool{New: func() any { return []htEntry(nil) }}
+)
+
 // NewHashTable creates a table holding at most capBytes of tuples, keyed on
 // integer attribute attr.
 func NewHashTable(m *cost.Model, capBytes int64, attr int) *HashTable {
@@ -62,21 +73,66 @@ func NewHashTable(m *cost.Model, capBytes int64, attr int) *HashTable {
 	if nb < 16 {
 		nb = 16
 	}
+	heads := headsPool.Get().([]int32)
+	if cap(heads) < nb {
+		heads = make([]int32, nb)
+	} else {
+		heads = heads[:nb]
+		for i := range heads {
+			heads[i] = 0
+		}
+	}
+	// Pre-size the entry array toward the table's stated capacity so builds
+	// do not pay repeated append-grow copies of multi-megabyte entry arrays
+	// (a pure wall-clock cost; the simulated Insert charge is per tuple
+	// either way). The cap bounds the up-front allocation for callers that
+	// state generous capacities they rarely fill (the dynamic Hybrid's
+	// per-partition tables).
+	prealloc := nb
+	if prealloc > 8192 {
+		prealloc = 8192
+	}
+	entries := entriesPool.Get().([]htEntry)
+	if cap(entries) < prealloc {
+		entries = make([]htEntry, 0, prealloc)
+	} else {
+		entries = entries[:0]
+	}
 	return &HashTable{
 		model:    m,
 		capBytes: capBytes,
 		attr:     attr,
-		heads:    make([]int32, nb),
+		heads:    heads,
+		entries:  entries,
 		cutoff:   math.MaxUint64,
 	}
+}
+
+// Release returns the table's backing arrays to the package pools and empties
+// the table. Only call it when no pointer into the entry array can still be
+// live — Probe/ProbeBatch callbacks receive such pointers, so releasing is
+// legal only after the phase that probed the table has reached its barrier.
+func (ht *HashTable) Release() {
+	if ht == nil {
+		return
+	}
+	if ht.heads != nil {
+		headsPool.Put(ht.heads[:0]) //nolint:staticcheck // slice header round-trips through any
+	}
+	if ht.entries != nil {
+		entriesPool.Put(ht.entries[:0]) //nolint:staticcheck // slice header round-trips through any
+	}
+	ht.heads, ht.entries = nil, nil
 }
 
 // slot remixes the routing hash before taking it modulo the chain count:
 // routing hashes are dense small integers, and reducing them directly would
 // alias with the split tables' mod indexing, producing pathological chain
 // lengths that depend on gcd(slots, splitEntries).
+const slotSalt = 0x00C0FFEE
+
 func (ht *HashTable) slot(h uint64) int {
-	return int(xrand.Mix64(h^0x00C0FFEE) % uint64(len(ht.heads)))
+	return int(xrand.Mix64(h^slotSalt) % uint64(len(ht.heads)))
 }
 
 // Cutoff returns the current overflow cutoff: tuples whose hash is >= the
@@ -98,18 +154,19 @@ func (ht *HashTable) Len() int { return len(ht.entries) }
 func (ht *HashTable) BytesUsed() int64 { return int64(len(ht.entries)) * tuple.Bytes }
 
 // Insert adds a tuple whose overflow key is below the cutoff (callers must
-// check AboveCutoff first). If the insert exceeds capacity, one or more
+// check AboveCutoff first). The tuple is copied into the table; the pointer
+// is only borrowed for the call. If the insert exceeds capacity, one or more
 // clearing passes run and the evicted tuples are returned for the caller to
 // write to its overflow file; the histogram, CPU costs, and cutoff are
 // maintained here.
-func (ht *HashTable) Insert(a *cost.Acct, t tuple.Tuple, h uint64) []tuple.Tuple {
+func (ht *HashTable) Insert(a *cost.Acct, t *tuple.Tuple, h uint64) []tuple.Tuple {
 	key := OverflowKey(h)
 	if key >= ht.cutoff {
 		panic("gamma: Insert called with hash above cutoff")
 	}
 	a.AddCPU(ht.model.Insert + ht.model.Histogram)
 	s := ht.slot(h)
-	ht.entries = append(ht.entries, htEntry{h: h, key: key, next: ht.heads[s] - 1, t: t})
+	ht.entries = append(ht.entries, htEntry{h: h, key: key, next: ht.heads[s] - 1, t: *t})
 	ht.heads[s] = int32(len(ht.entries))
 	ht.hist[key>>56]++
 
@@ -178,10 +235,12 @@ func (ht *HashTable) clearTenPercent(a *cost.Acct) []tuple.Tuple {
 	ht.cutoff = newCutoff
 	ht.overflows++
 
-	// Examine every tuple in the table and evict qualifying ones.
+	// Examine every tuple in the table and evict qualifying ones. covered
+	// counts exactly the live tuples in ranges >= the new cutoff, so it
+	// presizes the eviction buffer without regrowth.
 	a.AddCPU(cost.ScaleNs(len(ht.entries), ht.model.Chain))
 	kept := ht.entries[:0]
-	var evicted []tuple.Tuple
+	evicted := make([]tuple.Tuple, 0, covered)
 	for _, e := range ht.entries {
 		if e.key >= ht.cutoff {
 			evicted = append(evicted, e.t)
@@ -239,6 +298,35 @@ func (ht *HashTable) Probe(a *cost.Acct, h uint64, key int32, fn func(match *tup
 		ht.chainVisits++
 		if ht.entries[i].t.Int(ht.attr) == key {
 			fn(&ht.entries[i].t)
+		}
+	}
+}
+
+// ProbeBatch probes the table with a whole run of outer tuples: outer tuple
+// i (with routing hash hashes[i]) is compared on its integer attribute attr
+// against the build side, and fn is called for every match. The charge
+// sequence — one Probe per outer tuple, one Chain per visited entry, with
+// fn's own charges landing between them exactly where the matches occur —
+// is identical to calling Probe in a loop; what batching removes is the
+// per-tuple closure allocation and call overhead of the serial form.
+func (ht *HashTable) ProbeBatch(a *cost.Acct, tuples []tuple.Tuple, hashes []uint64, attr int,
+	fn func(outer, match *tuple.Tuple)) {
+	// fn never mutates the table (match callbacks only emit), so the hot
+	// loop can work from locals instead of reloading fields after each call.
+	heads, entries := ht.heads, ht.entries
+	battr := ht.attr
+	probeNs, chainNs := ht.model.Probe, ht.model.Chain
+	nheads := uint64(len(heads))
+	for i := range tuples {
+		a.AddCPU(probeNs)
+		ht.probes++
+		key := tuples[i].Int(attr)
+		for e := heads[int(xrand.Mix64(hashes[i]^slotSalt)%nheads)] - 1; e >= 0; e = entries[e].next {
+			a.AddCPU(chainNs)
+			ht.chainVisits++
+			if entries[e].t.Int(battr) == key {
+				fn(&tuples[i], &entries[e].t)
+			}
 		}
 	}
 }

@@ -199,32 +199,79 @@ func (p *Phase) End(opts EndOpts) time.Duration {
 	return stat.Elapsed()
 }
 
-// Exchange is the per-phase communication fabric: one buffered channel of
-// packets per site. Producers deliver through it (via netsim.Sender);
-// consumers range over their site's channel until the coordinator closes
-// the exchange.
+// Exchange is the per-phase communication fabric: one locked packet mailbox
+// per site. Producers deliver through it (via netsim.Sender, which batches
+// consecutive same-destination packets into runs); consumers block until the
+// coordinator closes the exchange, then take their site's accumulated
+// packets in delivery order. The mailbox shape exploits what consumers
+// already do — every drain sorts the complete packet set by (Src, Seq)
+// before processing, so nothing is lost by handing packets over only at the
+// barrier, and delivery never blocks a producer. Run granularity remains a
+// wall-clock transport optimization only — receive-side accounting stays
+// per packet (netsim.Network.Recv).
 type Exchange struct {
-	chans []chan *netsim.Batch
+	sites []exStream
+	done  chan struct{}
 }
 
-// NewExchange creates channels for every site in the cluster.
+type exStream struct {
+	mu      sync.Mutex
+	batches []*netsim.Batch
+}
+
+// NewExchange returns an exchange with a mailbox for every site, reusing a
+// pooled one (and its per-site backing arrays) when available. Callers hand
+// exchanges back with PutExchange once every consumer has finished.
 func (c *Cluster) NewExchange() *Exchange {
-	e := &Exchange{chans: make([]chan *netsim.Batch, len(c.Sites))}
-	for i := range e.chans {
-		e.chans[i] = make(chan *netsim.Batch, 256)
+	c.exMu.Lock()
+	if n := len(c.exPool); n > 0 {
+		e := c.exPool[n-1]
+		c.exPool = c.exPool[:n-1]
+		c.exMu.Unlock()
+		e.done = make(chan struct{})
+		return e
 	}
-	return e
+	c.exMu.Unlock()
+	return &Exchange{sites: make([]exStream, len(c.Sites)), done: make(chan struct{})}
 }
 
-// Deliver enqueues a packet for its destination site.
-func (e *Exchange) Deliver(dst int, b *netsim.Batch) { e.chans[dst] <- b }
-
-// Chan returns the receive side for a site.
-func (e *Exchange) Chan(site int) <-chan *netsim.Batch { return e.chans[site] }
-
-// Close signals end-of-stream to every consumer.
-func (e *Exchange) Close() {
-	for _, ch := range e.chans {
-		close(ch)
+// PutExchange recycles an exchange for a later phase. Only call it when no
+// consumer can still be reading the slices Take handed out — in practice,
+// after the consuming workers' barrier. The packet pointers themselves are
+// recycled separately (netsim.PutBatches) by the consumers.
+func (c *Cluster) PutExchange(e *Exchange) {
+	for i := range e.sites {
+		e.sites[i].batches = e.sites[i].batches[:0]
 	}
+	c.exMu.Lock()
+	c.exPool = append(c.exPool, e)
+	c.exMu.Unlock()
 }
+
+// Deliver appends a run of packets to its destination site's mailbox in
+// arrival order (run slices are recycled here). It never blocks beyond the
+// mailbox lock.
+func (e *Exchange) Deliver(dst int, run []*netsim.Batch) {
+	st := &e.sites[dst]
+	st.mu.Lock()
+	st.batches = append(st.batches, run...)
+	st.mu.Unlock()
+	netsim.PutRun(run)
+}
+
+// Take blocks until the exchange is closed, then returns every packet
+// delivered to the site, in delivery order. The returned slice is owned by
+// the exchange and valid until PutExchange.
+func (e *Exchange) Take(site int) []*netsim.Batch {
+	<-e.done
+	st := &e.sites[site]
+	st.mu.Lock()
+	b := st.batches
+	st.mu.Unlock()
+	return b
+}
+
+// Close signals end-of-stream to every consumer blocked in Take. All
+// deliveries must have happened before (the producers' barrier precedes the
+// coordinator's Close).
+func (e *Exchange) Close() { close(e.done) }

@@ -4,9 +4,19 @@
 // the same site are "short-circuited" by the communications software —
 // they skip the wire and most of the protocol stack but still cost CPU
 // (the paper stresses that this protocol cost cannot be ignored).
+//
+// Transport batching: packets are the unit of *accounting* (every packet is
+// charged, sequenced, and exposed to the fault injector exactly as before),
+// but the unit of *delivery* is a run — up to Network.RunLength consecutive
+// packets to the same destination handed to the exchange in one operation.
+// Runs exist purely to cut wall-clock overhead (channel operations,
+// per-packet allocation); they are invisible to the simulated cost model,
+// and RunLength 1 reproduces the legacy packet-at-a-time delivery bit for
+// bit (see core.Config.BatchSize).
 package netsim
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"gammajoin/internal/cost"
@@ -53,9 +63,21 @@ func (c Counters) LocalFraction() float64 {
 	return float64(c.TuplesLocal.Count()) / float64(total.Count())
 }
 
+// DefaultRunLength is the delivery-run size (in packets) used by networks
+// that have not been tuned with SetRunLength. Thirty-two packets is sixteen
+// disk pages of tuple payload — long enough to amortize the per-delivery
+// channel operation into noise, short enough that a run is a few tens of
+// kilobytes.
+const DefaultRunLength = 32
+
 // Network carries packets between sites and accounts for them.
 type Network struct {
 	model *cost.Model
+
+	// runLen is the delivery-run size in packets (see the package comment).
+	// It is set at cluster construction or between queries, never while
+	// senders are live.
+	runLen int
 
 	packetsLocal  atomic.Int64
 	packetsRemote atomic.Int64
@@ -74,8 +96,22 @@ type Network struct {
 // the network is shared (gamma.Cluster.EnableFaults does this).
 func (n *Network) SetFaults(r *fault.Registry) { n.faults = r }
 
+// SetRunLength sets the delivery-run size in packets. Length 1 restores the
+// legacy packet-at-a-time delivery; larger lengths only change how many
+// packets travel per exchange operation, never what is charged. Call
+// between queries (core applies core.Config.BatchSize here).
+func (n *Network) SetRunLength(packets int) {
+	if packets < 1 {
+		packets = 1
+	}
+	n.runLen = packets
+}
+
+// RunLength returns the current delivery-run size in packets.
+func (n *Network) RunLength() int { return n.runLen }
+
 // New returns a network using cost model m.
-func New(m *cost.Model) *Network { return &Network{model: m} }
+func New(m *cost.Model) *Network { return &Network{model: m, runLen: DefaultRunLength} }
 
 // DetectionDelay is the failure detector: given the simulated instant `at`
 // when a site went silent, it returns how long the scheduler waits before
@@ -113,7 +149,9 @@ func (n *Network) Counters() Counters {
 }
 
 // Batch is one packet's worth of tuples addressed to one operator stream.
-// Exactly one of Tuples or Joined is populated.
+// Exactly one of the embedded tuple run or Joined is populated. Batches are
+// recycled through a package arena: receivers hand processed batches back
+// via PutBatches, so steady-state packet traffic allocates nothing.
 type Batch struct {
 	Src   int   // producing site
 	Dst   int   // destination site
@@ -121,9 +159,8 @@ type Batch struct {
 	Tag   int   // stream tag, interpreted by the consumer (e.g. overflow)
 	Seq   int64 // per-sender sequence number, for deterministic replay
 
-	Tuples []tuple.Tuple
-	Hashes []uint64 // join-attribute hash for each tuple in Tuples
-	Joined []tuple.Joined
+	tuple.Batch                // Tuples + parallel join-attribute Hashes
+	Joined      []tuple.Joined // composite result tuples
 
 	// Dups is how many spurious duplicate copies of this packet the
 	// (faulted) network delivered; the receiver charges protocol CPU to
@@ -132,11 +169,55 @@ type Batch struct {
 }
 
 // Len returns the number of tuples in the batch.
-func (b *Batch) Len() int {
-	if b.Joined != nil {
-		return len(b.Joined)
+func (b *Batch) Len() int { return len(b.Tuples) + len(b.Joined) }
+
+// reset empties the batch for reuse, keeping the backing arrays.
+func (b *Batch) reset() {
+	b.Batch.Reset()
+	b.Joined = b.Joined[:0]
+	b.Dups = 0
+	b.Seq = 0
+}
+
+// batchPool recycles packet batches across senders, phases, and queries.
+// Buffer capacities are sized lazily by the senders (capT plain tuples or
+// capJ joined tuples), so a recycled batch's arrays are already full-size.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty batch from the package arena. Senders call this
+// internally; it is exported for tests and for code that fabricates batches
+// outside a Sender (which should be rare — see the costcharge analyzer).
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.reset()
+	return b
+}
+
+// PutBatch recycles one batch. The caller must not touch it afterwards.
+func PutBatch(b *Batch) {
+	if b != nil {
+		batchPool.Put(b)
 	}
-	return len(b.Tuples)
+}
+
+// PutBatches recycles every batch in the slice. Receivers call it after the
+// tuples have been copied out (consumed batches must never be retained).
+func PutBatches(bs []*Batch) {
+	for _, b := range bs {
+		PutBatch(b)
+	}
+}
+
+// runPool recycles the []*Batch run slices that travel through exchanges.
+var runPool = sync.Pool{New: func() any { return make([]*Batch, 0, DefaultRunLength) }}
+
+func getRun() []*Batch { return runPool.Get().([]*Batch)[:0] }
+
+// PutRun recycles a delivery-run slice (not the batches inside it).
+func PutRun(run []*Batch) {
+	if run != nil {
+		runPool.Put(run[:0]) //nolint:staticcheck // slice header round-trips through any
+	}
 }
 
 // Recv charges the receive-side protocol cost for one batch to a.
@@ -160,18 +241,32 @@ type streamKey struct {
 }
 
 // Sender buffers outgoing tuples into per-destination packets on behalf of
-// one producing process. It is single-goroutine; create one per producer.
+// one producing process, and full packets into per-destination delivery
+// runs. It is single-goroutine; create one per producer.
+//
+// The per-stream buffers are organized as dense destination-indexed slices
+// per tag, with the current tag's slice cached: operator inner loops send
+// long stretches of tuples under one tag while scattering across
+// destinations, so the per-tuple stream lookup is one bounds check and one
+// slice index instead of a map probe on a two-field key.
 type Sender struct {
-	net  *Network
-	a    *cost.Acct
-	src  int
-	out  func(dst int, b *Batch)
-	capT int // plain tuples per packet
-	capJ int // joined tuples per packet
-	seq  int64
+	net    *Network
+	a      *cost.Acct
+	src    int
+	out    func(dst int, run []*Batch)
+	capT   int        // plain tuples per packet
+	capJ   int        // joined tuples per packet
+	wtNs   cost.SimNs // cached model.WriteTuple (hot: charged once per tuple sent)
+	runLen int        // packets per delivery run
+	seq    int64
 
-	bufs  map[streamKey]*Batch
-	order []streamKey // insertion order, for deterministic FlushAll
+	curTag  int
+	cur     []*Batch         // destination-indexed buffers for curTag
+	byTag   map[int][]*Batch // all tags' buffer slices (cur is byTag[curTag])
+	order   []streamKey      // stream first-write order, for deterministic FlushAll
+	pending [][]*Batch       // destination-indexed delivery runs being filled
+	pdsts   []int            // destinations with a pending slot, first-use order
+	pmark   map[int]struct{} // membership set for pdsts
 
 	// colocated, when non-nil, overrides the short-circuit test: after a
 	// failover moves a dead site's roles to its ring neighbor, streams
@@ -194,56 +289,147 @@ func (s *Sender) local(dst int) bool {
 	return dst == s.src
 }
 
-// NewSender creates a sender for producing site src. Every full packet is
-// handed to deliver, which typically enqueues it on the destination site's
-// channel for the current phase.
-func (n *Network) NewSender(a *cost.Acct, src int, deliver func(dst int, b *Batch)) *Sender {
-	return &Sender{
-		net:  n,
-		a:    a,
-		src:  src,
-		out:  deliver,
-		capT: n.model.TuplesPerPacket(tuple.Bytes),
-		capJ: n.model.TuplesPerPacket(tuple.JoinedBytes),
-		bufs: make(map[streamKey]*Batch),
+// senderPool recycles Sender objects — and, importantly, their per-tag
+// stream directories and pending-run arrays — across phase workers. A query
+// creates a sender per worker per phase, so without pooling these small
+// arrays dominate the allocation profile.
+var senderPool = sync.Pool{New: func() any { return new(Sender) }}
+
+// NewSender creates a sender for producing site src. Every full delivery
+// run is handed to deliver, which typically enqueues it on the destination
+// site's mailbox for the current phase. Call Release when the producer is
+// done (after FlushAll) to recycle the sender.
+func (n *Network) NewSender(a *cost.Acct, src int, deliver func(dst int, run []*Batch)) *Sender {
+	rl := n.runLen
+	if rl < 1 {
+		rl = 1
 	}
+	s := senderPool.Get().(*Sender)
+	s.net, s.a, s.src, s.out = n, a, src, deliver
+	s.capT = n.model.TuplesPerPacket(tuple.Bytes)
+	s.capJ = n.model.TuplesPerPacket(tuple.JoinedBytes)
+	s.wtNs = n.model.WriteTuple
+	s.runLen = rl
+	s.seq = 0
+	s.curTag = int(^uint(0) >> 1) // no current tag yet
+	s.cur = nil
+	s.colocated = nil
+	return s
+}
+
+// Release recycles the sender. Call only after FlushAll, when no packet can
+// still be buffered; any stragglers (a cancelled worker's partial buffers)
+// are recycled, not delivered. The caller must not use the sender again.
+func (s *Sender) Release() {
+	if s.cur != nil {
+		s.byTag[s.curTag] = s.cur
+	}
+	for _, bufs := range s.byTag {
+		for i, b := range bufs {
+			if b != nil {
+				PutBatch(b)
+				bufs[i] = nil
+			}
+		}
+	}
+	for _, dst := range s.pdsts {
+		if dst < len(s.pending) && s.pending[dst] != nil {
+			PutRun(s.pending[dst])
+			s.pending[dst] = nil
+		}
+	}
+	s.order = s.order[:0]
+	s.pdsts = s.pdsts[:0]
+	for dst := range s.pmark {
+		delete(s.pmark, dst)
+	}
+	s.cur = nil
+	s.a, s.out, s.colocated = nil, nil, nil
+	senderPool.Put(s)
+}
+
+// buffer returns the packet under construction for stream (dst, tag),
+// creating (and recording in first-write order) an empty one if needed.
+func (s *Sender) buffer(dst, tag int) *Batch {
+	if tag != s.curTag {
+		if s.byTag == nil {
+			s.byTag = make(map[int][]*Batch)
+		} else if s.cur != nil {
+			s.byTag[s.curTag] = s.cur
+		}
+		s.cur = s.byTag[tag]
+		s.curTag = tag
+	}
+	if dst >= len(s.cur) {
+		grown := make([]*Batch, dst+1)
+		copy(grown, s.cur)
+		s.cur = grown
+		s.byTag[tag] = grown
+	}
+	b := s.cur[dst]
+	if b == nil {
+		b = GetBatch()
+		b.Src, b.Dst, b.Local, b.Tag = s.src, dst, s.local(dst), tag
+		s.cur[dst] = b
+		s.order = append(s.order, streamKey{dst, tag})
+	}
+	return b
 }
 
 // Send routes one tuple (with its precomputed join-attribute hash) to the
-// stream (dst, tag), charging the copy into the outgoing packet.
-func (s *Sender) Send(dst, tag int, t tuple.Tuple, h uint64) {
-	s.a.AddCPU(s.net.model.WriteTuple)
-	k := streamKey{dst, tag}
-	b := s.bufs[k]
-	if b == nil {
-		b = &Batch{Src: s.src, Dst: dst, Local: s.local(dst), Tag: tag}
-		s.bufs[k] = b
-		s.order = append(s.order, k)
+// stream (dst, tag), charging the copy into the outgoing packet. The tuple
+// is copied immediately; the pointer may target a buffer about to be
+// recycled.
+func (s *Sender) Send(dst, tag int, t *tuple.Tuple, h uint64) {
+	s.a.AddCPU(s.wtNs)
+	b := s.buffer(dst, tag)
+	if cap(b.Tuples) == 0 {
+		b.Tuples = make([]tuple.Tuple, 0, s.capT)
+		b.Hashes = make([]uint64, 0, s.capT)
 	}
-	b.Tuples = append(b.Tuples, t)
-	b.Hashes = append(b.Hashes, h)
+	b.Append(t, h)
 	if len(b.Tuples) >= s.capT {
-		s.flush(k, b)
+		s.flush(b)
 	}
 }
 
 // SendJoined routes one composite result tuple to the stream (dst, tag).
-func (s *Sender) SendJoined(dst, tag int, j tuple.Joined) {
-	s.a.AddCPU(s.net.model.WriteTuple)
-	k := streamKey{dst, tag}
-	b := s.bufs[k]
-	if b == nil {
-		b = &Batch{Src: s.src, Dst: dst, Local: s.local(dst), Tag: tag, Joined: []tuple.Joined{}}
-		s.bufs[k] = b
-		s.order = append(s.order, k)
+func (s *Sender) SendJoined(dst, tag int, j *tuple.Joined) {
+	s.a.AddCPU(s.wtNs)
+	b := s.buffer(dst, tag)
+	if cap(b.Joined) == 0 {
+		b.Joined = make([]tuple.Joined, 0, s.capJ)
 	}
-	b.Joined = append(b.Joined, j)
+	b.Joined = append(b.Joined, *j)
 	if len(b.Joined) >= s.capJ {
-		s.flush(k, b)
+		s.flush(b)
 	}
 }
 
-func (s *Sender) flush(k streamKey, b *Batch) {
+// SendJoinedPair is SendJoined for a match still held as two halves: the
+// composite is assembled directly in the outgoing packet slot, skipping the
+// caller-side 2x tuple copy. Charges and flush behaviour are identical to
+// SendJoined.
+func (s *Sender) SendJoinedPair(dst, tag int, inner, outer *tuple.Tuple) {
+	s.a.AddCPU(s.wtNs)
+	b := s.buffer(dst, tag)
+	if cap(b.Joined) == 0 {
+		b.Joined = make([]tuple.Joined, 0, s.capJ)
+	}
+	n := len(b.Joined)
+	b.Joined = b.Joined[:n+1]
+	b.Joined[n].Inner = *inner
+	b.Joined[n].Outer = *outer
+	if len(b.Joined) >= s.capJ {
+		s.flush(b)
+	}
+}
+
+// flush seals one packet: it is sequenced, charged (protocol, wire, fault
+// rolls) exactly as a packet, then appended to its destination's delivery
+// run. The stream's buffer slot is cleared so the next Send starts a fresh
+// packet. Accounting here is per packet and unchanged by run batching.
+func (s *Sender) flush(b *Batch) {
 	m := s.net.model
 	s.seq++
 	b.Seq = s.seq
@@ -279,20 +465,73 @@ func (s *Sender) flush(k streamKey, b *Batch) {
 			s.a.Note("net.duplicate", int64(dups))
 		}
 	}
-	delete(s.bufs, k)
-	s.out(b.Dst, b)
+
+	// Clear the stream slot (the tag is always the cached one here: flush is
+	// only reached from Send/SendJoined/FlushAll right after buffer()).
+	s.cur[b.Dst] = nil
+
+	// Delivery: append to the destination's run; hand the run over when it
+	// reaches the configured length.
+	dst := b.Dst
+	if s.runLen <= 1 {
+		run := getRun()
+		s.out(dst, append(run, b))
+		return
+	}
+	if dst >= len(s.pending) {
+		grown := make([][]*Batch, dst+1)
+		copy(grown, s.pending)
+		s.pending = grown
+	}
+	if s.pending[dst] == nil {
+		s.pending[dst] = getRun()
+		if s.pmark == nil {
+			s.pmark = make(map[int]struct{})
+		}
+		if _, seen := s.pmark[dst]; !seen {
+			s.pmark[dst] = struct{}{}
+			s.pdsts = append(s.pdsts, dst)
+		}
+	}
+	s.pending[dst] = append(s.pending[dst], b)
+	if len(s.pending[dst]) >= s.runLen {
+		s.out(dst, s.pending[dst])
+		s.pending[dst] = nil
+	}
 }
 
 // FlushAll sends every partially filled packet, in the deterministic order
-// the streams were first written. Call once when the producer's input
-// stream ends (Gamma's end-of-stream close).
+// the streams were first written, then delivers every pending run. Call
+// once when the producer's input stream ends (Gamma's end-of-stream close).
 func (s *Sender) FlushAll() {
 	for _, k := range s.order {
-		if b := s.bufs[k]; b != nil && b.Len() > 0 {
-			s.flush(k, b)
-		} else {
-			delete(s.bufs, k)
+		bufs := s.byTag[k.tag]
+		if k.tag == s.curTag {
+			bufs = s.cur
+		}
+		if k.dst < len(bufs) {
+			if b := bufs[k.dst]; b != nil {
+				if b.Len() > 0 {
+					// flush expects the stream's tag to be the cached one so
+					// it can clear the slot through s.cur.
+					if k.tag != s.curTag {
+						s.byTag[s.curTag] = s.cur
+						s.cur = s.byTag[k.tag]
+						s.curTag = k.tag
+					}
+					s.flush(b)
+				} else {
+					PutBatch(b)
+					bufs[k.dst] = nil
+				}
+			}
 		}
 	}
 	s.order = s.order[:0]
+	for _, dst := range s.pdsts {
+		if run := s.pending[dst]; run != nil {
+			s.out(dst, run)
+			s.pending[dst] = nil
+		}
+	}
 }

@@ -130,6 +130,12 @@ type Joined struct {
 // executions of the same query be compared tuple-for-tuple without
 // collecting either result set (see Report.ResultSum in internal/core).
 func (j *Joined) Checksum() uint64 {
+	return PairChecksum(&j.Inner, &j.Outer)
+}
+
+// PairChecksum is Joined.Checksum computed from the two sides in place, so
+// emitters can checksum a match without materializing the composite tuple.
+func PairChecksum(inner, outer *Tuple) uint64 {
 	h := uint64(0x9E3779B97F4A7C15)
 	fold := func(t *Tuple) {
 		for _, v := range t.Ints {
@@ -138,8 +144,8 @@ func (j *Joined) Checksum() uint64 {
 			h ^= h >> 29
 		}
 	}
-	fold(&j.Inner)
-	fold(&j.Outer)
+	fold(inner)
+	fold(outer)
 	h *= 0x94D049BB133111EB
 	return h ^ (h >> 32)
 }

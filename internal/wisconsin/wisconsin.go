@@ -7,8 +7,6 @@
 package wisconsin
 
 import (
-	"fmt"
-
 	"gammajoin/internal/tuple"
 	"gammajoin/internal/xrand"
 )
@@ -80,9 +78,12 @@ func fill(t *tuple.Tuple, u1, u2, normal int32) {
 // str fills a 52-byte string attribute deterministically from v in the
 // spirit of the benchmark's cyclic string attributes.
 func str(dst *[tuple.StrLen]byte, v int32) {
-	s := fmt.Sprintf("%c%c%c%c%c%c%c",
-		'A'+v%26, 'A'+(v/26)%26, 'A'+(v/676)%26,
-		'A'+(v/17576)%26, 'x', 'x', 'x')
+	var s [7]byte
+	s[0] = byte('A' + v%26)
+	s[1] = byte('A' + (v/26)%26)
+	s[2] = byte('A' + (v/676)%26)
+	s[3] = byte('A' + (v/17576)%26)
+	s[4], s[5], s[6] = 'x', 'x', 'x'
 	for i := 0; i < tuple.StrLen; i++ {
 		dst[i] = s[i%len(s)]
 	}

@@ -108,24 +108,100 @@ func (f *File) Pages() int {
 	return len(f.pages)
 }
 
+// pagePool recycles page backing arrays across files. Only files whose
+// pages are provably unreferenced hand pages back (File.Recycle); everything
+// else lets the garbage collector reclaim them as before.
+var pagePool = sync.Pool{New: func() any { return []tuple.Tuple(nil) }}
+
+// getPage returns an empty page with at least perPage capacity.
+func getPage(perPage int) []tuple.Tuple {
+	pg := pagePool.Get().([]tuple.Tuple)
+	if cap(pg) < perPage {
+		return make([]tuple.Tuple, 0, perPage)
+	}
+	return pg[:0]
+}
+
+// Recycle returns every page to the package page pool and empties the file.
+// Only call it when no pointer into the file's pages can still be live —
+// cursors, Scan callbacks, and At results all alias page memory. The sort
+// utility recycles its private run files this way; operator temp files are
+// not recycled because a redo may re-scan them.
+func (f *File) Recycle() {
+	f.mu.Lock()
+	for _, pg := range f.pages {
+		pagePool.Put(pg[:0]) //nolint:staticcheck // slice header round-trips through any
+	}
+	f.pages, f.n = nil, 0
+	f.mu.Unlock()
+}
+
 // Append adds one tuple, charging the tuple copy to a and a page write when
 // a page fills. Callers must Flush once the stream ends to persist (and
 // charge) the final partial page.
 func (f *File) Append(a *cost.Acct, t tuple.Tuple) {
-	a.AddCPU(f.model.WriteTuple)
+	f.appendOne(a, &t)
+}
+
+// appendOne is Append without the by-value argument copy; the tuple is
+// copied exactly once, into the page.
+func (f *File) appendOne(a *cost.Acct, t *tuple.Tuple) {
 	f.mu.Lock()
+	f.appendLocked(a, t)
+	f.mu.Unlock()
+}
+
+// appendLocked is the body of appendOne with f.mu already held, so a writer
+// that owns the file exclusively (the sort's merge loop) can amortize the
+// lock over a whole output stream.
+func (f *File) appendLocked(a *cost.Acct, t *tuple.Tuple) {
+	a.AddCPU(f.model.WriteTuple)
 	last := len(f.pages) - 1
 	if last < 0 || len(f.pages[last]) >= f.perPage {
-		f.pages = append(f.pages, make([]tuple.Tuple, 0, f.perPage))
+		f.pages = append(f.pages, getPage(f.perPage))
 		last++
 	}
-	f.pages[last] = append(f.pages[last], t)
+	f.pages[last] = append(f.pages[last], *t)
 	f.n++
-	full := len(f.pages[last]) >= f.perPage
-	f.mu.Unlock()
-	if full {
+	if len(f.pages[last]) >= f.perPage {
 		f.dsk.WritePage(a, f.id)
 	}
+}
+
+// AppendBatch adds a run of tuples under one lock acquisition, charging
+// exactly what the equivalent sequence of Append calls would: one
+// WriteTuple per tuple, with a page write landing between the same two
+// tuple copies whenever a page fills. Callers must Flush once the stream
+// ends to persist (and charge) the final partial page.
+func (f *File) AppendBatch(a *cost.Acct, tuples []tuple.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	f.mu.Lock()
+	for len(tuples) > 0 {
+		last := len(f.pages) - 1
+		if last < 0 || len(f.pages[last]) >= f.perPage {
+			f.pages = append(f.pages, getPage(f.perPage))
+			last++
+		}
+		// Copy a page-filling chunk at once. The WriteTuple charges within
+		// the chunk are commutative (no Note lands between them), so one
+		// scaled charge equals the per-tuple sum exactly, and the page write
+		// still lands at the same point in the charge sequence.
+		room := f.perPage - len(f.pages[last])
+		k := len(tuples)
+		if k > room {
+			k = room
+		}
+		a.AddCPU(cost.ScaleNs(k, f.model.WriteTuple))
+		f.pages[last] = append(f.pages[last], tuples[:k]...)
+		f.n += int64(k)
+		tuples = tuples[k:]
+		if len(f.pages[last]) >= f.perPage {
+			f.dsk.WritePage(a, f.id)
+		}
+	}
+	f.mu.Unlock()
 }
 
 // Flush charges the write of a trailing partial page, if any. Idempotent
@@ -149,10 +225,11 @@ func (f *File) Scan(a *cost.Acct, fn func(t *tuple.Tuple) bool) {
 	f.mu.Lock()
 	pages := f.pages
 	f.mu.Unlock()
+	readNs := f.model.ReadTuple
 	for _, pg := range pages {
 		f.dsk.ReadSeq(a, f.id)
 		for i := range pg {
-			a.AddCPU(f.model.ReadTuple)
+			a.AddCPU(readNs)
 			if !fn(&pg[i]) {
 				return
 			}
@@ -202,11 +279,15 @@ func (f *File) UpdateWhere(a *cost.Acct, match func(t *tuple.Tuple) bool,
 
 // Cursor is a forward-only reader over a file, used by merge joins and the
 // sort utility. It charges page reads and tuple fetches as it advances.
+// The page directory is snapshotted on the first advance (files are fully
+// written before cursors read them), so Next costs no lock acquisition.
 type Cursor struct {
-	f    *File
-	a    *cost.Acct
-	page int
-	slot int
+	f      *File
+	a      *cost.Acct
+	pages  [][]tuple.Tuple
+	page   int
+	slot   int
+	readNs cost.SimNs // cached f.model.ReadTuple (charged once per tuple)
 }
 
 // NewCursor returns a cursor positioned before the first tuple.
@@ -216,26 +297,43 @@ func (f *File) NewCursor(a *cost.Acct) *Cursor {
 
 // Next returns the next tuple, or ok=false at end of file.
 func (c *Cursor) Next() (t tuple.Tuple, ok bool) {
-	c.f.mu.Lock()
-	pages := c.f.pages
-	c.f.mu.Unlock()
+	p, ok := c.NextP()
+	if !ok {
+		return tuple.Tuple{}, false
+	}
+	return *p, true
+}
+
+// NextP is Next without the by-value copy: the returned pointer aliases the
+// file's page memory and stays valid while the file is neither mutated nor
+// recycled (merge inputs are fully written before cursors read them).
+func (c *Cursor) NextP() (t *tuple.Tuple, ok bool) {
+	pages := c.pages
+	if pages == nil {
+		c.f.mu.Lock()
+		c.pages = c.f.pages
+		c.f.mu.Unlock()
+		pages = c.pages
+		c.readNs = c.f.model.ReadTuple
+	}
 	for c.page < len(pages) {
 		pg := pages[c.page]
 		if c.slot == 0 && len(pg) > 0 {
 			c.f.dsk.ReadSeq(c.a, c.f.id)
 		}
 		if c.slot < len(pg) {
-			c.a.AddCPU(c.f.model.ReadTuple)
-			t = pg[c.slot]
+			c.a.AddCPU(c.readNs)
+			t = &pg[c.slot]
 			c.slot++
 			return t, true
 		}
 		c.page++
 		c.slot = 0
 	}
-	return tuple.Tuple{}, false
+	return nil, false
 }
 
 // Reset rewinds the cursor to the beginning (subsequent reads are charged
-// again, as the pages must be re-fetched).
-func (c *Cursor) Reset() { c.page, c.slot = 0, 0 }
+// again, as the pages must be re-fetched). The page-directory snapshot is
+// dropped so a reset cursor observes appends made since it was created.
+func (c *Cursor) Reset() { c.pages, c.page, c.slot = nil, 0, 0 }
